@@ -1,0 +1,44 @@
+// Command fslcheck parses a Fault Specification Language script and
+// prints the six tables the VirtualWire front-end compiles it into
+// (filter, node, counter, term, condition, action — Figure 3 of the
+// paper). It is the quickest way to validate a script before running it.
+//
+// Usage:
+//
+//	fslcheck script.fsl [more.fsl ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"virtualwire/internal/fsl"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fslcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: fslcheck script.fsl [more.fsl ...]")
+	}
+	for _, path := range args {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		progs, err := fsl.CompileAll(string(src))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, p := range progs {
+			fmt.Printf("=== %s: %s ===\n\n", path, p.Name)
+			fmt.Println(p.Dump())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command vwbench regenerates the paper's evaluation figures on the
+// simulated testbed and prints them as tables:
+//
+//	vwbench -fig 7          # TCP throughput vs offered load (Figure 7)
+//	vwbench -fig 8          # UDP echo RTT overhead vs #filters (Figure 8)
+//	vwbench -fig all        # both
+//
+// Flags tune the sweeps; defaults match the paper's parameters
+// (25 packet definitions, 25 actions per packet, 10..100 Mbps offered).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"virtualwire/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "vwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "which figure to regenerate: 7, 8 or all")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	duration := flag.Duration("duration", 2*time.Second, "fig 7: paced-transmission window per point")
+	rates := flag.String("rates", "", "fig 7: comma-separated offered rates in Mbps (default 10..100)")
+	pings := flag.Int("pings", 300, "fig 8: echo round trips per point")
+	filters := flag.String("filters", "", "fig 8: comma-separated filter counts (default 1,5,10,15,20,25)")
+	flag.Parse()
+
+	want7 := *fig == "7" || *fig == "all"
+	want8 := *fig == "8" || *fig == "all"
+	if !want7 && !want8 {
+		return fmt.Errorf("unknown -fig %q (want 7, 8 or all)", *fig)
+	}
+
+	if want7 {
+		cfg := experiments.Fig7Config{Seed: *seed, Duration: *duration}
+		if *rates != "" {
+			rs, err := parseFloats(*rates)
+			if err != nil {
+				return fmt.Errorf("-rates: %w", err)
+			}
+			cfg.OfferedMbps = rs
+		}
+		pts, err := experiments.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig7(pts))
+	}
+	if want8 {
+		cfg := experiments.Fig8Config{Seed: *seed, Pings: *pings}
+		if *filters != "" {
+			fs, err := parseInts(*filters)
+			if err != nil {
+				return fmt.Errorf("-filters: %w", err)
+			}
+			cfg.FilterCounts = fs
+		}
+		pts, err := experiments.RunFig8(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig8(pts))
+	}
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package virtualwire
+
+import (
+	"virtualwire/internal/gen"
+)
+
+// Scenario generation — the paper's "future work" (Section 8): derive
+// fault-injection-plus-analysis scripts mechanically instead of writing
+// them by hand. See examples/regression for the full workflow.
+type (
+	// GenConfig parametrizes scenario generation.
+	GenConfig = gen.Config
+	// GeneratedScenario is one generated test case.
+	GeneratedScenario = gen.Scenario
+	// FaultKind selects the injected fault of a generated case.
+	FaultKind = gen.FaultKind
+)
+
+// Fault kinds available to GenerateScenarios.
+const (
+	FaultDrop    = gen.Drop
+	FaultDelay   = gen.Delay
+	FaultDup     = gen.Dup
+	FaultModify  = gen.Modify
+	FaultReorder = gen.Reorder
+)
+
+// GenerateScenarios emits one validated FSL scenario per (fault kind,
+// occurrence) pair: each injects a single fault into the Nth packet of
+// the target type and passes only if the stream keeps flowing afterward.
+func GenerateScenarios(cfg GenConfig) ([]GeneratedScenario, error) {
+	return gen.Generate(cfg)
+}

@@ -1,0 +1,3 @@
+module virtualwire
+
+go 1.22

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"virtualwire/internal/ether"
+)
+
+// Classifier matches raw frames against the filter table. The default
+// strategy is the paper's: a linear scan in table order with first-match
+// priority ("the current VirtualWire implementation searches linearly
+// through the packet type definitions", Section 7 — the cause of Figure
+// 8's linear overhead growth). An optional ethertype-bucketed index is
+// provided as the ablation DESIGN.md describes.
+type Classifier struct {
+	filters []FilterEntry
+	// vars holds the run-time bindings of VAR-referenced tuples; nil
+	// means unbound. Bindings are engine-local.
+	vars [][]byte
+
+	// Indexed selects the bucketed strategy.
+	Indexed bool
+	// buckets maps the 2-byte ethertype to candidate filter indices;
+	// filters without a literal (12 2 pattern) tuple go to anyBucket.
+	buckets   map[uint16][]int
+	anyBucket []int
+
+	// TuplesCompared counts tuple comparisons (the unit of the Figure 8
+	// cost model).
+	TuplesCompared uint64
+	// FiltersScanned counts filter entries visited.
+	FiltersScanned uint64
+}
+
+// NewClassifier builds a classifier over the program's filter table.
+func NewClassifier(p *Program) *Classifier {
+	c := &Classifier{
+		filters: p.Filters,
+		vars:    make([][]byte, len(p.Vars)),
+		buckets: make(map[uint16][]int),
+	}
+	for i, f := range p.Filters {
+		keyed := false
+		for _, tu := range f.Tuples {
+			if tu.Off == 12 && tu.Len == 2 && tu.Var < 0 && tu.Mask == nil {
+				et := binary.BigEndian.Uint16(tu.Pattern)
+				c.buckets[et] = append(c.buckets[et], i)
+				keyed = true
+				break
+			}
+		}
+		if !keyed {
+			c.anyBucket = append(c.anyBucket, i)
+		}
+	}
+	return c
+}
+
+// VarBinding returns the current binding of a variable (nil if unbound).
+func (c *Classifier) VarBinding(v VarID) []byte {
+	if int(v) >= len(c.vars) {
+		return nil
+	}
+	return c.vars[v]
+}
+
+// Classify returns the first matching filter, or -1. Variable tuples
+// match unconditionally while unbound and bind (engine-locally) when the
+// whole filter matches; once bound they require byte equality.
+func (c *Classifier) Classify(fr *ether.Frame) FilterID {
+	if c.Indexed {
+		return c.classifyIndexed(fr)
+	}
+	for i := range c.filters {
+		c.FiltersScanned++
+		if c.matchFilter(i, fr) {
+			return FilterID(i)
+		}
+	}
+	return -1
+}
+
+func (c *Classifier) classifyIndexed(fr *ether.Frame) FilterID {
+	et := fr.EtherType()
+	best := -1
+	for _, i := range c.buckets[et] {
+		c.FiltersScanned++
+		if c.matchFilter(i, fr) {
+			best = i
+			break
+		}
+	}
+	for _, i := range c.anyBucket {
+		if best >= 0 && i > best {
+			break
+		}
+		c.FiltersScanned++
+		if c.matchFilter(i, fr) && (best < 0 || i < best) {
+			best = i
+			break
+		}
+	}
+	return FilterID(best)
+}
+
+// matchFilter applies all tuples of filter i; on success it commits any
+// new variable bindings.
+func (c *Classifier) matchFilter(i int, fr *ether.Frame) bool {
+	f := &c.filters[i]
+	type binding struct {
+		v   VarID
+		val []byte
+	}
+	var pending []binding
+	for ti := range f.Tuples {
+		tu := &f.Tuples[ti]
+		c.TuplesCompared++
+		end := tu.Off + tu.Len
+		if end > len(fr.Data) {
+			return false
+		}
+		field := fr.Data[tu.Off:end]
+		if tu.Var >= 0 {
+			bound := c.vars[tu.Var]
+			if bound == nil {
+				cp := make([]byte, len(field))
+				copy(cp, field)
+				pending = append(pending, binding{tu.Var, cp})
+				continue
+			}
+			if !bytesEqualMasked(field, bound, tu.Mask) {
+				return false
+			}
+			continue
+		}
+		if !bytesEqualMasked(field, tu.Pattern, tu.Mask) {
+			return false
+		}
+	}
+	for _, b := range pending {
+		c.vars[b.v] = b.val
+	}
+	return true
+}
+
+func bytesEqualMasked(got, want, mask []byte) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	if mask == nil {
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range got {
+		if got[i]&mask[i] != want[i]&mask[i] {
+			return false
+		}
+	}
+	return true
+}

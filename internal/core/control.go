@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+)
+
+// Control-plane message kinds (Section 5.2: "The control plane messages
+// are implemented as payloads of raw Ethernet frames").
+type MsgKind int
+
+// Message kinds.
+const (
+	// MsgInitChunk carries one fragment of the gob-encoded Program from
+	// the controller to a node.
+	MsgInitChunk MsgKind = iota + 1
+	// MsgInitAck acknowledges a fully assembled Program.
+	MsgInitAck
+	// MsgStart activates the scenario on a node.
+	MsgStart
+	// MsgShutdown deactivates the scenario on a node.
+	MsgShutdown
+	// MsgCounterValue pushes a counter's new value to a node homing a
+	// dependent term (the eager case of Section 5.2).
+	MsgCounterValue
+	// MsgTermStatus pushes a term's changed status to nodes evaluating
+	// dependent conditions (the status-change-only case).
+	MsgTermStatus
+	// MsgError reports a FLAG_ERR firing to the controller.
+	MsgError
+	// MsgStop reports a STOP firing to the controller.
+	MsgStop
+	// MsgActivity is the rate-limited liveness report feeding the
+	// controller's inactivity timer.
+	MsgActivity
+)
+
+// Msg is one control-plane message. All engines and the controller speak
+// this type, gob-encoded in an ethertype-0x88B5 Ethernet frame.
+type Msg struct {
+	Kind MsgKind
+	From NodeID
+
+	// Init distribution.
+	ChunkIndex  int
+	ChunkTotal  int
+	ChunkData   []byte
+	ControlNode NodeID
+	NodeID      NodeID // the receiver's identity, assigned by the controller
+
+	// State propagation.
+	Counter CounterID
+	Value   int64
+	Term    TermID
+	Status  bool
+
+	// Reports.
+	Rule    int
+	Message string
+	AtNanos int64
+}
+
+// encodeMsg wraps a Msg in a control frame addressed dst <- src.
+func encodeMsg(src, dst packet.MAC, m *Msg) (*ether.Frame, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, packet.EthHeaderLen))
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("encode control msg: %w", err)
+	}
+	b := buf.Bytes()
+	packet.PutEth(b, packet.Eth{Dst: dst, Src: src, Type: packet.EtherTypeVWCtl})
+	return &ether.Frame{Data: b}, nil
+}
+
+// decodeMsg extracts a Msg from a control frame.
+func decodeMsg(fr *ether.Frame) (*Msg, error) {
+	if len(fr.Data) <= packet.EthHeaderLen {
+		return nil, fmt.Errorf("control frame too short")
+	}
+	var m Msg
+	if err := gob.NewDecoder(bytes.NewReader(fr.Data[packet.EthHeaderLen:])).Decode(&m); err != nil {
+		return nil, fmt.Errorf("decode control msg: %w", err)
+	}
+	return &m, nil
+}
+
+// initChunkSize bounds INIT fragments so control frames stay well under
+// the Ethernet MTU even after RLL encapsulation.
+const initChunkSize = 1000
+
+// encodeProgram gob-encodes a Program for INIT distribution.
+func encodeProgram(p *Program) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("encode program: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeProgram reverses encodeProgram.
+func decodeProgram(b []byte) (*Program, error) {
+	var p Program
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("decode program: %w", err)
+	}
+	return &p, nil
+}
+
+// ErrorReport is one FLAG_ERR occurrence collected by the controller.
+type ErrorReport struct {
+	Node NodeID
+	Rule int
+	At   time.Duration
+	Text string
+}
+
+func (e ErrorReport) String() string {
+	return fmt.Sprintf("t=%v node=%d rule=%d %s", e.At, e.Node, e.Rule, e.Text)
+}

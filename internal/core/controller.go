@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"virtualwire/internal/sim"
+)
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// Started reports that every engine acknowledged INIT and the
+	// scenario was broadcast-started.
+	Started bool
+	// StartedAt is the virtual time of the START broadcast.
+	StartedAt time.Duration
+	// Stopped reports an explicit STOP action ended the scenario.
+	Stopped bool
+	// StoppedAt is when the STOP (or inactivity) was processed.
+	StoppedAt time.Duration
+	// Inactivity reports the scenario ended because no monitored packet
+	// event occurred within the script's inactivity timeout — per
+	// Section 6.2 this is a distinct (usually failing) outcome.
+	Inactivity bool
+	// Errors collects every FLAG_ERR report, in arrival order.
+	Errors []ErrorReport
+}
+
+// Passed reports the conventional success criterion: the run started,
+// no analysis rule flagged an error, and if the script has an inactivity
+// timeout the run ended with an explicit STOP rather than by going quiet.
+func (r Result) Passed(requireStop bool) bool {
+	if !r.Started || len(r.Errors) > 0 {
+		return false
+	}
+	if requireStop {
+		return r.Stopped && !r.Inactivity
+	}
+	return !r.Inactivity
+}
+
+func (r Result) String() string {
+	status := "running"
+	switch {
+	case r.Stopped:
+		status = fmt.Sprintf("stopped at %v", r.StoppedAt)
+	case r.Inactivity:
+		status = fmt.Sprintf("inactivity timeout at %v", r.StoppedAt)
+	}
+	return fmt.Sprintf("scenario %s, %d error(s)", status, len(r.Errors))
+}
+
+// Controller is the programming front-end's run-time half: it lives on
+// the control node (Figure 1), distributes the compiled tables to every
+// engine over the control plane, starts the scenario, tracks inactivity,
+// and collects STOP and FLAG_ERR reports.
+type Controller struct {
+	sched  *sim.Scheduler
+	prog   *Program
+	engine *Engine // co-located engine on the control node
+	self   NodeID
+
+	acked    map[NodeID]bool
+	started  bool
+	finished bool
+	result   Result
+	inact    *sim.Timer
+
+	// OnStarted fires when every engine is initialized and the START
+	// broadcast has been sent; workloads should begin here.
+	OnStarted func()
+	// OnFinished fires when the scenario ends (STOP or inactivity).
+	OnFinished func(Result)
+}
+
+// NewController attaches a controller to the engine of the control node.
+// controlNode must be the node whose MAC the engine carries.
+func NewController(sched *sim.Scheduler, prog *Program, engine *Engine, controlNode NodeID) (*Controller, error) {
+	if int(controlNode) < 0 || int(controlNode) >= len(prog.Nodes) {
+		return nil, fmt.Errorf("core: control node %d out of range", controlNode)
+	}
+	if prog.Nodes[controlNode].MAC != engine.mac {
+		return nil, fmt.Errorf("core: engine MAC %v is not control node %q",
+			engine.mac, prog.Nodes[controlNode].Name)
+	}
+	c := &Controller{
+		sched:  sched,
+		prog:   prog,
+		engine: engine,
+		self:   controlNode,
+		acked:  make(map[NodeID]bool),
+	}
+	c.inact = sim.NewTimer(sched, "vw.inactivity")
+	engine.controller = c
+	return c, nil
+}
+
+// Result returns the scenario outcome so far.
+func (c *Controller) Result() Result { return c.result }
+
+// Finished reports whether the scenario has ended.
+func (c *Controller) Finished() bool { return c.finished }
+
+// Launch distributes the tables to every node, then starts the scenario
+// once all engines acknowledge. It returns immediately; progress happens
+// inside the simulation.
+func (c *Controller) Launch() error {
+	blob, err := encodeProgram(c.prog)
+	if err != nil {
+		return err
+	}
+	total := (len(blob) + initChunkSize - 1) / initChunkSize
+	for n := range c.prog.Nodes {
+		nid := NodeID(n)
+		if nid == c.self {
+			// Local engine: load directly (the paper's programming
+			// tool runs on this node).
+			c.engine.load(c.prog, nid, c.self)
+			c.acked[nid] = true
+			continue
+		}
+		for i := 0; i < total; i++ {
+			end := (i + 1) * initChunkSize
+			if end > len(blob) {
+				end = len(blob)
+			}
+			m := &Msg{
+				Kind:        MsgInitChunk,
+				From:        c.self,
+				ChunkIndex:  i,
+				ChunkTotal:  total,
+				ChunkData:   blob[i*initChunkSize : end],
+				ControlNode: c.self,
+				NodeID:      nid,
+			}
+			fr, err := encodeMsg(c.engine.mac, c.prog.Nodes[n].MAC, m)
+			if err != nil {
+				return err
+			}
+			c.engine.injectCtl(fr)
+		}
+	}
+	c.maybeStart()
+	return nil
+}
+
+func (c *Controller) handle(m *Msg) {
+	switch m.Kind {
+	case MsgInitAck:
+		c.acked[m.From] = true
+		c.maybeStart()
+	case MsgError:
+		text := m.Message
+		if text == "" {
+			text = "FLAG_ERR"
+		}
+		c.result.Errors = append(c.result.Errors, ErrorReport{
+			Node: m.From, Rule: m.Rule, At: time.Duration(m.AtNanos), Text: text,
+		})
+	case MsgStop:
+		c.finish(true)
+	case MsgActivity:
+		c.armInactivity()
+	}
+}
+
+func (c *Controller) maybeStart() {
+	if c.started || len(c.acked) < len(c.prog.Nodes) {
+		return
+	}
+	c.started = true
+	c.result.Started = true
+	c.result.StartedAt = c.sched.Now()
+	for n := range c.prog.Nodes {
+		nid := NodeID(n)
+		if nid == c.self {
+			continue
+		}
+		c.engine.sendCtl(nid, &Msg{Kind: MsgStart, From: c.self})
+	}
+	c.engine.Activate()
+	c.armInactivity()
+	if c.OnStarted != nil {
+		c.OnStarted()
+	}
+}
+
+func (c *Controller) armInactivity() {
+	if c.finished || c.prog.InactivityTimeout <= 0 {
+		return
+	}
+	c.inact.Arm(c.prog.InactivityTimeout, func() {
+		c.result.Inactivity = true
+		c.finish(false)
+	})
+}
+
+func (c *Controller) finish(stopped bool) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.inact.Disarm()
+	c.result.Stopped = stopped
+	c.result.StoppedAt = c.sched.Now()
+	for n := range c.prog.Nodes {
+		nid := NodeID(n)
+		if nid == c.self {
+			continue
+		}
+		c.engine.sendCtl(nid, &Msg{Kind: MsgShutdown, From: c.self})
+	}
+	c.engine.Deactivate()
+	if c.OnFinished != nil {
+		c.OnFinished(c.result)
+	}
+}

@@ -1,0 +1,397 @@
+// Package core implements the paper's primary contribution: the
+// VirtualWire Fault Injection Engine and Fault Analysis Engine (FIE/FAE),
+// the six-table execution-state model of Figure 3, the per-packet control
+// flow of Figure 4(b), the distributed control-plane protocol of Section
+// 5.2, and the scenario lifecycle (initialization, start, stop, error
+// reporting, inactivity timeout).
+//
+// This file defines the compiled representation an FSL script is lowered
+// into: the filter table and node table (packet classification), and the
+// counter, term, condition and action tables (execution state). The
+// controller distributes the full set of tables to every node, exactly as
+// the paper describes ("all FIEs and FAEs are sent the entire set of
+// tables even though each node may touch only a subset").
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"virtualwire/internal/packet"
+)
+
+// Typed table indices. A value of -1 means "none".
+type (
+	// FilterID indexes Program.Filters.
+	FilterID int
+	// NodeID indexes Program.Nodes.
+	NodeID int
+	// CounterID indexes Program.Counters.
+	CounterID int
+	// TermID indexes Program.Terms.
+	TermID int
+	// CondID indexes Program.Conds.
+	CondID int
+	// ActionID indexes Program.Actions.
+	ActionID int
+	// VarID indexes Program.Vars (run-time-bound filter variables).
+	VarID int
+)
+
+// Direction distinguishes the observation point of a packet event.
+type Direction int
+
+// Observation directions: SEND events are counted at the transmitting
+// node's engine on the outbound path, RECV events at the receiving node's
+// engine on the inbound path.
+const (
+	DirSend Direction = iota + 1
+	DirRecv
+)
+
+// String names the direction as it appears in FSL source.
+func (d Direction) String() string {
+	switch d {
+	case DirSend:
+		return "SEND"
+	case DirRecv:
+		return "RECV"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// FilterTuple is one (offset, length, mask, pattern) component of a
+// packet definition; all tuples of a filter must match (logical AND).
+// Either Pattern or Var is set: a Var tuple binds the variable to the
+// observed bytes on first match and requires equality afterwards.
+type FilterTuple struct {
+	Off     int
+	Len     int
+	Mask    []byte // nil means match all bits
+	Pattern []byte // len == Len when Var < 0
+	Var     VarID  // -1 unless this tuple references a VAR
+}
+
+// FilterEntry is one packet definition. Filter priority is the order of
+// occurrence: classification returns the first matching entry.
+type FilterEntry struct {
+	Name   string
+	Tuples []FilterTuple
+}
+
+// NodeEntry is one row of the Node Table: a testbed host identity.
+type NodeEntry struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.IP
+}
+
+// CounterKind distinguishes packet-event counters from script-managed
+// local variables.
+type CounterKind int
+
+// Counter kinds.
+const (
+	// CounterEvent counts send/receive events of a packet type on a
+	// node pair; it lives on the observing node.
+	CounterEvent CounterKind = iota + 1
+	// CounterLocal is a script variable on a specific node, manipulated
+	// only by counter actions.
+	CounterLocal
+)
+
+// CounterEntry is one row of the counter table. The compiler precomputes
+// the dependent term list so an update can trigger exactly the
+// re-evaluations Figure 3 shows.
+type CounterEntry struct {
+	Name string
+	Kind CounterKind
+
+	// Event-counter fields: count packets matching Filter travelling
+	// From -> To, observed at the Dir endpoint.
+	Filter FilterID
+	From   NodeID
+	To     NodeID
+	Dir    Direction
+
+	// Home is the node whose engine owns the authoritative value.
+	Home NodeID
+
+	// Terms lists the terms whose value depends on this counter.
+	Terms []TermID
+	// RemoteNodes lists nodes that need this counter's value pushed to
+	// them because they home a term whose other operand lives there
+	// (Section 5.2's eager value propagation case).
+	RemoteNodes []NodeID
+}
+
+// RelOp is a relational operator in a term.
+type RelOp int
+
+// Relational operators supported by FSL (Section 4).
+const (
+	OpLT RelOp = iota + 1
+	OpLE
+	OpGT
+	OpGE
+	OpEQ
+	OpNE
+)
+
+// String renders the operator in FSL syntax.
+func (op RelOp) String() string {
+	switch op {
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	}
+	return fmt.Sprintf("RelOp(%d)", int(op))
+}
+
+// Eval applies the operator.
+func (op RelOp) Eval(a, b int64) bool {
+	switch op {
+	case OpLT:
+		return a < b
+	case OpLE:
+		return a <= b
+	case OpGT:
+		return a > b
+	case OpGE:
+		return a >= b
+	case OpEQ:
+		return a == b
+	case OpNE:
+		return a != b
+	}
+	return false
+}
+
+// Operand is one side of a term: a counter reference or a constant.
+type Operand struct {
+	IsConst bool
+	Const   int64
+	Counter CounterID
+}
+
+// TermEntry is one row of the term table: a boolean relation between two
+// counter values or a counter and a constant. The term is evaluated at
+// Home; its status is pushed to every node in StatusNodes when it changes
+// (Section 5.2's status-change-only propagation).
+type TermEntry struct {
+	LHS Operand
+	Op  RelOp
+	RHS Operand
+
+	Home NodeID
+	// Conds lists conditions containing this term.
+	Conds []CondID
+	// StatusNodes lists nodes (excluding Home) that evaluate one of
+	// those conditions and therefore need status updates.
+	StatusNodes []NodeID
+}
+
+// CondOp is a node kind in a condition expression tree.
+type CondOp int
+
+// Condition expression node kinds.
+const (
+	CondTerm CondOp = iota + 1
+	CondAnd
+	CondOr
+	CondNot
+	CondTrue
+)
+
+// CondExpr is a condition expression tree over terms.
+type CondExpr struct {
+	Op   CondOp
+	Term TermID // CondTerm
+	Kids []*CondExpr
+}
+
+// Terms appends all term IDs referenced by the expression to out.
+func (e *CondExpr) Terms(out []TermID) []TermID {
+	if e == nil {
+		return out
+	}
+	if e.Op == CondTerm {
+		return append(out, e.Term)
+	}
+	for _, k := range e.Kids {
+		out = k.Terms(out)
+	}
+	return out
+}
+
+// ConditionEntry is one row of the condition table. Conditions are
+// evaluated at each node in EvalNodes (the nodes hosting its actions)
+// whenever a constituent term's status changes, and fire their actions on
+// the false-to-true edge.
+type ConditionEntry struct {
+	Expr *CondExpr
+	// Actions lists the actions to trigger, in rule order.
+	Actions []ActionID
+	// EvalNodes lists the nodes that evaluate this condition.
+	EvalNodes []NodeID
+	// Rule records the 1-based rule index in the scenario, for reports.
+	Rule int
+}
+
+// ActionKind enumerates Table I and Table II primitives.
+type ActionKind int
+
+// Action kinds. Fault actions come from Table II, counter actions from
+// Table I.
+const (
+	ActDrop ActionKind = iota + 1
+	ActDelay
+	ActReorder
+	ActDup
+	ActModify
+	ActFail
+	ActStop
+	ActFlagErr
+
+	ActAssignCntr
+	ActEnableCntr
+	ActDisableCntr
+	ActIncrCntr
+	ActDecrCntr
+	ActResetCntr
+	ActSetCurTime
+	ActElapsedTime
+)
+
+// String names the action kind in FSL syntax.
+func (k ActionKind) String() string {
+	switch k {
+	case ActDrop:
+		return "DROP"
+	case ActDelay:
+		return "DELAY"
+	case ActReorder:
+		return "REORDER"
+	case ActDup:
+		return "DUP"
+	case ActModify:
+		return "MODIFY"
+	case ActFail:
+		return "FAIL"
+	case ActStop:
+		return "STOP"
+	case ActFlagErr:
+		return "FLAG_ERR"
+	case ActAssignCntr:
+		return "ASSIGN_CNTR"
+	case ActEnableCntr:
+		return "ENABLE_CNTR"
+	case ActDisableCntr:
+		return "DISABLE_CNTR"
+	case ActIncrCntr:
+		return "INCR_CNTR"
+	case ActDecrCntr:
+		return "DECR_CNTR"
+	case ActResetCntr:
+		return "RESET_CNTR"
+	case ActSetCurTime:
+		return "SET_CURTIME"
+	case ActElapsedTime:
+		return "ELAPSED_TIME"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// IsFault reports whether the action manipulates packets or nodes rather
+// than counters.
+func (k ActionKind) IsFault() bool { return k >= ActDrop && k <= ActFlagErr }
+
+// ActionEntry is one row of the action table.
+type ActionEntry struct {
+	Kind ActionKind
+	// Node is the executor: the engine that performs the action. For
+	// fault actions it is the observation endpoint (SEND -> From,
+	// RECV -> To); for counter actions the counter's home; for FAIL the
+	// failed node; for STOP/FLAG_ERR the node evaluating the condition.
+	Node NodeID
+
+	// Fault parameters (ActDrop..ActModify).
+	Filter FilterID
+	From   NodeID
+	To     NodeID
+	Dir    Direction
+	// Duration is the DELAY amount (rounded up to the 10 ms software-
+	// timer jiffy at execution, as in the paper's implementation).
+	Duration time.Duration
+	// Count is the REORDER window size.
+	Count int
+	// Order is the REORDER release permutation (1-based positions);
+	// empty means reverse order.
+	Order []int
+	// PatternOff/Pattern are the MODIFY overwrite; empty Pattern means
+	// random single-byte perturbation.
+	PatternOff int
+	Pattern    []byte
+
+	// Counter parameters (ActAssignCntr..ActElapsedTime; also ActFail's
+	// target via Node).
+	Counter CounterID
+	Value   int64
+}
+
+// Program is a compiled FSL script: the six tables plus scenario
+// metadata. It is what the controller ships to every engine.
+type Program struct {
+	Name string
+	// InactivityTimeout ends the scenario when no monitored packet
+	// event occurs for this long (0 = none). Per Section 6.2, ending by
+	// inactivity is reported distinctly from an explicit STOP.
+	InactivityTimeout time.Duration
+
+	Vars     []string
+	Filters  []FilterEntry
+	Nodes    []NodeEntry
+	Counters []CounterEntry
+	Terms    []TermEntry
+	Conds    []ConditionEntry
+	Actions  []ActionEntry
+}
+
+// NodeByName resolves a node name.
+func (p *Program) NodeByName(name string) (NodeID, bool) {
+	for i, n := range p.Nodes {
+		if n.Name == name {
+			return NodeID(i), true
+		}
+	}
+	return -1, false
+}
+
+// CounterByName resolves a counter name.
+func (p *Program) CounterByName(name string) (CounterID, bool) {
+	for i, c := range p.Counters {
+		if c.Name == name {
+			return CounterID(i), true
+		}
+	}
+	return -1, false
+}
+
+// FilterByName resolves a packet-definition name.
+func (p *Program) FilterByName(name string) (FilterID, bool) {
+	for i, f := range p.Filters {
+		if f.Name == name {
+			return FilterID(i), true
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRelOpEvalAll(t *testing.T) {
+	tests := []struct {
+		op   RelOp
+		a, b int64
+		want bool
+	}{
+		{OpLT, 1, 2, true}, {OpLT, 2, 2, false},
+		{OpLE, 2, 2, true}, {OpLE, 3, 2, false},
+		{OpGT, 3, 2, true}, {OpGT, 2, 2, false},
+		{OpGE, 2, 2, true}, {OpGE, 1, 2, false},
+		{OpEQ, 5, 5, true}, {OpEQ, 5, 6, false},
+		{OpNE, 5, 6, true}, {OpNE, 5, 5, false},
+		{RelOp(0), 1, 1, false},
+	}
+	for _, tt := range tests {
+		if got := tt.op.Eval(tt.a, tt.b); got != tt.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestRelOpStrings(t *testing.T) {
+	want := map[RelOp]string{
+		OpLT: "<", OpLE: "<=", OpGT: ">", OpGE: ">=", OpEQ: "=", OpNE: "!=",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), s)
+		}
+	}
+	if !strings.Contains(RelOp(42).String(), "42") {
+		t.Error("unknown op string")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirSend.String() != "SEND" || DirRecv.String() != "RECV" {
+		t.Error("direction strings")
+	}
+	if !strings.Contains(Direction(9).String(), "9") {
+		t.Error("unknown direction string")
+	}
+}
+
+func TestActionKindStrings(t *testing.T) {
+	kinds := []ActionKind{
+		ActDrop, ActDelay, ActReorder, ActDup, ActModify, ActFail,
+		ActStop, ActFlagErr, ActAssignCntr, ActEnableCntr, ActDisableCntr,
+		ActIncrCntr, ActDecrCntr, ActResetCntr, ActSetCurTime, ActElapsedTime,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "ActionKind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+		if seen[s] {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(ActionKind(99).String(), "ActionKind(") {
+		t.Error("unknown kind string")
+	}
+	if !ActDrop.IsFault() || !ActFlagErr.IsFault() || ActAssignCntr.IsFault() {
+		t.Error("IsFault classification")
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := &Program{
+		Nodes:    []NodeEntry{{Name: "n1"}, {Name: "n2"}},
+		Filters:  []FilterEntry{{Name: "f1"}},
+		Counters: []CounterEntry{{Name: "c1"}},
+	}
+	if id, ok := p.NodeByName("n2"); !ok || id != 1 {
+		t.Errorf("NodeByName: %d %v", id, ok)
+	}
+	if _, ok := p.NodeByName("ghost"); ok {
+		t.Error("ghost node found")
+	}
+	if id, ok := p.FilterByName("f1"); !ok || id != 0 {
+		t.Errorf("FilterByName: %d %v", id, ok)
+	}
+	if _, ok := p.FilterByName("ghost"); ok {
+		t.Error("ghost filter found")
+	}
+	if id, ok := p.CounterByName("c1"); !ok || id != 0 {
+		t.Errorf("CounterByName: %d %v", id, ok)
+	}
+	if _, ok := p.CounterByName("ghost"); ok {
+		t.Error("ghost counter found")
+	}
+}
+
+func TestErrorReportString(t *testing.T) {
+	r := ErrorReport{Node: 2, Rule: 7, At: time.Second, Text: "FLAG_ERR"}
+	s := r.String()
+	for _, want := range []string{"node=2", "rule=7", "1s", "FLAG_ERR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+}
+
+func TestResultPassedMatrix(t *testing.T) {
+	tests := []struct {
+		r           Result
+		requireStop bool
+		want        bool
+	}{
+		{Result{Started: true}, false, true},
+		{Result{Started: false}, false, false},
+		{Result{Started: true, Errors: []ErrorReport{{}}}, false, false},
+		{Result{Started: true, Stopped: true}, true, true},
+		{Result{Started: true}, true, false},
+		{Result{Started: true, Inactivity: true}, false, false},
+		{Result{Started: true, Inactivity: true}, true, false},
+	}
+	for i, tt := range tests {
+		if got := tt.r.Passed(tt.requireStop); got != tt.want {
+			t.Errorf("case %d: Passed(%v) = %v, want %v", i, tt.requireStop, got, tt.want)
+		}
+	}
+}
+
+func TestCondExprTermsCollection(t *testing.T) {
+	e := &CondExpr{Op: CondOr, Kids: []*CondExpr{
+		{Op: CondTerm, Term: 3},
+		{Op: CondNot, Kids: []*CondExpr{{Op: CondAnd, Kids: []*CondExpr{
+			{Op: CondTerm, Term: 1},
+			{Op: CondTrue},
+		}}}},
+	}}
+	got := e.Terms(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("Terms = %v", got)
+	}
+	var nilExpr *CondExpr
+	if out := nilExpr.Terms(nil); out != nil {
+		t.Errorf("nil expr terms = %v", out)
+	}
+}
+
+func TestEngineRevive(t *testing.T) {
+	e := NewEngine(nil, [6]byte{1})
+	e.failed = true
+	if !e.Failed() {
+		t.Fatal("not failed")
+	}
+	e.Revive()
+	if e.Failed() {
+		t.Error("Revive did not clear the crash")
+	}
+}
+
+func TestRoundUpToJiffy(t *testing.T) {
+	tests := []struct {
+		in, want time.Duration
+	}{
+		{0, Jiffy},
+		{-time.Millisecond, Jiffy},
+		{time.Millisecond, Jiffy},
+		{Jiffy, Jiffy},
+		{Jiffy + 1, 2 * Jiffy},
+		{25 * time.Millisecond, 30 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := roundUpToJiffy(tt.in); got != tt.want {
+			t.Errorf("roundUpToJiffy(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

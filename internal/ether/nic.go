@@ -1,0 +1,155 @@
+package ether
+
+import (
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+)
+
+// Stats counts NIC-level events. All counts are cumulative since the NIC
+// was created.
+type Stats struct {
+	TxFrames   uint64
+	TxBytes    uint64
+	RxFrames   uint64
+	RxBytes    uint64
+	QueueDrops uint64 // transmit queue overflow
+	CRCErrors  uint64 // corrupt frames discarded on receive
+	Collisions uint64 // transmit attempts that ended in a collision
+	TxExpired  uint64 // frames dropped after MaxAttempts collisions
+}
+
+// Medium is the wire a NIC is attached to. Media call back into the NIC
+// for queue access and delivery; NICs call kick to announce pending
+// frames.
+type Medium interface {
+	// Attach registers the NIC on the medium. A NIC is attached to
+	// exactly one medium.
+	Attach(n *NIC)
+	// kick tells the medium that n has at least one frame queued.
+	kick(n *NIC)
+}
+
+// NIC is a simulated network interface: a bounded transmit queue, carrier
+// access handled by the attached medium, and an upcall for received
+// frames.
+type NIC struct {
+	// MAC is the interface hardware address.
+	MAC packet.MAC
+	// Promiscuous, when true, delivers frames regardless of their
+	// destination address (used by the switch's internal ports).
+	Promiscuous bool
+	// DeliverCorrupt, when true, passes FCS-failed frames to the
+	// receive handler with Corrupt set instead of discarding them.
+	DeliverCorrupt bool
+	// Stats accumulates interface counters.
+	Stats Stats
+
+	sched   *sim.Scheduler
+	medium  Medium
+	txq     []*Frame
+	txqCap  int
+	recv    func(*Frame)
+	nextID  *uint64
+	backoff int // consecutive collisions for the frame at queue head
+}
+
+// NewNIC returns a NIC with the given address and a transmit queue of
+// txqCap frames (<=0 selects the default of 128).
+func NewNIC(sched *sim.Scheduler, mac packet.MAC, txqCap int) *NIC {
+	if txqCap <= 0 {
+		txqCap = 128
+	}
+	var id uint64
+	return &NIC{
+		MAC:    mac,
+		sched:  sched,
+		txqCap: txqCap,
+		nextID: &id,
+	}
+}
+
+// SetRecv installs the receive upcall. Frames arrive fully reassembled
+// (store-and-forward timing is handled by the medium).
+func (n *NIC) SetRecv(fn func(*Frame)) { n.recv = fn }
+
+// Scheduler returns the simulation scheduler the NIC runs on.
+func (n *NIC) Scheduler() *sim.Scheduler { return n.sched }
+
+// QueueLen reports the current transmit queue depth.
+func (n *NIC) QueueLen() int { return len(n.txq) }
+
+// Send queues a frame for transmission. It reports false if the transmit
+// queue is full and the frame was dropped.
+func (n *NIC) Send(fr *Frame) bool {
+	if len(n.txq) >= n.txqCap {
+		n.Stats.QueueDrops++
+		return false
+	}
+	if fr.ID == 0 {
+		*n.nextID++
+		fr.ID = *n.nextID
+	}
+	n.txq = append(n.txq, fr)
+	if n.medium != nil {
+		n.medium.kick(n)
+	}
+	return true
+}
+
+// head returns the frame at the front of the transmit queue without
+// removing it, or nil.
+func (n *NIC) head() *Frame {
+	if len(n.txq) == 0 {
+		return nil
+	}
+	return n.txq[0]
+}
+
+// dequeue removes and returns the frame at the front of the queue.
+func (n *NIC) dequeue() *Frame {
+	fr := n.txq[0]
+	n.txq[0] = nil
+	n.txq = n.txq[1:]
+	return fr
+}
+
+// txDone is called by the medium when the head frame was transmitted
+// successfully.
+func (n *NIC) txDone(fr *Frame) {
+	n.Stats.TxFrames++
+	n.Stats.TxBytes += uint64(len(fr.Data))
+	n.backoff = 0
+}
+
+// collided is called by the medium when a transmit attempt collided. It
+// reports whether the frame should be retried (false once the attempt
+// limit is reached, in which case the frame has been dropped).
+func (n *NIC) collided() bool {
+	n.Stats.Collisions++
+	n.backoff++
+	if n.backoff >= MaxAttempts {
+		n.Stats.TxExpired++
+		n.dequeue()
+		n.backoff = 0
+		return false
+	}
+	return true
+}
+
+// deliver hands a received frame to the host side of the NIC, applying
+// destination filtering and FCS policy.
+func (n *NIC) deliver(fr *Frame) {
+	dst := fr.Dst()
+	if !n.Promiscuous && dst != n.MAC && !dst.IsBroadcast() {
+		return
+	}
+	if fr.Corrupt && !n.DeliverCorrupt {
+		n.Stats.CRCErrors++
+		return
+	}
+	n.Stats.RxFrames++
+	n.Stats.RxBytes += uint64(len(fr.Data))
+	if n.recv != nil {
+		n.recv(fr)
+	}
+}

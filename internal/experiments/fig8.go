@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"virtualwire"
+)
+
+// Fig8Config parametrizes the Figure 8 reproduction: percentage increase
+// in UDP echo round-trip latency as a function of the number of packet
+// type definitions, for three configurations — (i) filters only, (ii)
+// filters plus 25 actions per matched packet, (iii) case (ii) with the
+// RLL turned on.
+type Fig8Config struct {
+	// FilterCounts are the swept x values (default 1,5,10,15,20,25).
+	FilterCounts []int
+	// Pings per measurement (default 300).
+	Pings int
+	// Size is the echo payload in bytes (default 512).
+	Size int
+	// Interval paces the pings (default 1 ms).
+	Interval time.Duration
+	// Actions is the per-packet action count of curve (ii) (default 25).
+	Actions int
+	// Seed drives the simulations.
+	Seed int64
+	// Cost is the engine cost model (default DefaultCost).
+	Cost *virtualwire.CostModel
+}
+
+func (c *Fig8Config) fill() {
+	if len(c.FilterCounts) == 0 {
+		c.FilterCounts = []int{1, 5, 10, 15, 20, 25}
+	}
+	if c.Pings <= 0 {
+		c.Pings = 300
+	}
+	if c.Size <= 0 {
+		c.Size = 1024
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Millisecond
+	}
+	if c.Actions <= 0 {
+		c.Actions = 25
+	}
+	if c.Cost == nil {
+		cost := DefaultCost
+		c.Cost = &cost
+	}
+}
+
+// Fig8Point is one x value of the Figure 8 curves.
+type Fig8Point struct {
+	Filters     int
+	BaselineRTT time.Duration
+	// PctFilters is curve (i): packet matching rules only.
+	PctFilters float64
+	// PctActions is curve (ii): matching plus 25 actions per packet.
+	PctActions float64
+	// PctRLL is curve (iii): case (ii) with the RLL on.
+	PctRLL float64
+}
+
+const fig8EchoPort = 9000
+
+// RunFig8 executes the sweep.
+func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
+	cfg.fill()
+	// One shared baseline: no VirtualWire, no RLL.
+	baseRTT, err := fig8Point(cfg.Seed+1, cfg, "", false)
+	if err != nil {
+		return nil, fmt.Errorf("fig8 baseline: %w", err)
+	}
+	out := make([]Fig8Point, 0, len(cfg.FilterCounts))
+	for i, n := range cfg.FilterCounts {
+		seed := cfg.Seed + int64(i+1)*100
+		scriptPlain := fig8Script(n, 0, fig8EchoPort)
+		scriptActs := fig8Script(n, cfg.Actions, fig8EchoPort)
+		rttF, err := fig8Point(seed+1, cfg, scriptPlain, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 filters n=%d: %w", n, err)
+		}
+		rttA, err := fig8Point(seed+2, cfg, scriptActs, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 actions n=%d: %w", n, err)
+		}
+		rttR, err := fig8Point(seed+3, cfg, scriptActs, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 rll n=%d: %w", n, err)
+		}
+		pct := func(rtt time.Duration) float64 {
+			return (float64(rtt) - float64(baseRTT)) / float64(baseRTT) * 100
+		}
+		out = append(out, Fig8Point{
+			Filters:     n,
+			BaselineRTT: baseRTT,
+			PctFilters:  pct(rttF),
+			PctActions:  pct(rttA),
+			PctRLL:      pct(rttR),
+		})
+	}
+	return out, nil
+}
+
+func fig8Point(seed int64, cfg Fig8Config, script string, withRLL bool) (time.Duration, error) {
+	tbCfg := virtualwire.Config{Seed: seed, RLL: withRLL}
+	if script != "" {
+		tbCfg.Cost = *cfg.Cost
+	}
+	tb, err := buildPair(tbCfg, script)
+	if err != nil {
+		return 0, err
+	}
+	echo, err := tb.AddUDPEcho(virtualwire.UDPEchoConfig{
+		Client: "node1", Server: "node2",
+		ServerPort: fig8EchoPort,
+		Size:       cfg.Size,
+		Interval:   cfg.Interval,
+		Count:      cfg.Pings,
+	})
+	if err != nil {
+		return 0, err
+	}
+	horizon := time.Duration(cfg.Pings)*cfg.Interval + 5*time.Second
+	if _, err := tb.Run(horizon); err != nil {
+		return 0, err
+	}
+	if echo.Received() < cfg.Pings {
+		return 0, fmt.Errorf("echo received %d/%d", echo.Received(), cfg.Pings)
+	}
+	return echo.MeanRTT(), nil
+}
+
+// FormatFig8 renders the sweep as the table Figure 8 plots.
+func FormatFig8(points []Fig8Point) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: % increase in UDP echo RTT vs number of packet definitions\n")
+	if len(points) > 0 {
+		fmt.Fprintf(&b, "baseline RTT (no VirtualWire): %v\n", points[0].BaselineRTT)
+	}
+	b.WriteString("filters   (i) matching only   (ii) +25 actions   (iii) +RLL\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%7d   %17.2f%%   %16.2f%%   %9.2f%%\n",
+			p.Filters, p.PctFilters, p.PctActions, p.PctRLL)
+	}
+	return b.String()
+}

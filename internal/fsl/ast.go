@@ -1,0 +1,135 @@
+package fsl
+
+import "time"
+
+// Script is the parsed form of an FSL source file.
+type Script struct {
+	Vars      []VarDecl
+	Filters   []FilterDef
+	Nodes     []NodeDef
+	Scenarios []ScenarioDef
+}
+
+// VarDecl declares run-time-bound filter variables.
+type VarDecl struct {
+	Names []string
+	Line  int
+}
+
+// FilterDef is one packet definition from a FILTER_TABLE block.
+type FilterDef struct {
+	Name   string
+	Tuples []TupleDef
+	Line   int
+}
+
+// TupleDef is one (offset length [mask] pattern) component. Mask and
+// Pattern keep their raw spelling; the compiler interprets them as hex
+// regardless of a 0x prefix (the paper writes both "0x0010" and "0010").
+type TupleDef struct {
+	Off     int64
+	Len     int64
+	HasMask bool
+	Mask    string
+	Pattern string // empty when IsVar
+	IsVar   bool
+	VarName string
+	Line    int
+}
+
+// NodeDef is one NODE_TABLE row.
+type NodeDef struct {
+	Name string
+	MAC  string
+	IP   string
+	Line int
+}
+
+// ScenarioDef is a SCENARIO block.
+type ScenarioDef struct {
+	Name     string
+	Timeout  time.Duration
+	Counters []CounterDef
+	Rules    []RuleDef
+	Line     int
+}
+
+// CounterDef declares a counter inside a scenario: either an event
+// counter (pkt_type, from, to, SEND|RECV) or a local variable (node).
+type CounterDef struct {
+	Name    string
+	IsLocal bool
+	Node    string // local form
+	Filter  string // event form
+	From    string
+	To      string
+	Dir     string // "SEND" or "RECV"
+	Line    int
+}
+
+// RuleDef is one {condition >> actions} pair.
+type RuleDef struct {
+	Cond    *ExprNode
+	Actions []ActionDef
+	Line    int
+}
+
+// ExprKind classifies condition-expression AST nodes.
+type ExprKind int
+
+// Expression node kinds.
+const (
+	ExprTrue ExprKind = iota + 1
+	ExprTerm
+	ExprAnd
+	ExprOr
+	ExprNot
+)
+
+// ExprNode is a condition expression.
+type ExprNode struct {
+	Kind ExprKind
+	L, R *ExprNode // And/Or: both; Not: L only
+
+	// Term fields.
+	LHS  OperandDef
+	Op   string // "<", "<=", ">", ">=", "=", "!="
+	RHS  OperandDef
+	Line int
+}
+
+// OperandDef is a term operand: a counter name or integer constant.
+type OperandDef struct {
+	IsInt bool
+	Int   int64
+	Name  string
+}
+
+// ArgKind classifies action arguments.
+type ArgKind int
+
+// Action argument kinds.
+const (
+	ArgIdent ArgKind = iota + 1
+	ArgInt
+	ArgDuration
+	ArgList // [i j k]
+)
+
+// ArgDef is one action argument.
+type ArgDef struct {
+	Kind ArgKind
+	Name string
+	Int  int64
+	Text string // raw spelling of ints, for hex patterns
+	Dur  time.Duration
+	List []int64
+	Line int
+}
+
+// ActionDef is one action invocation.
+type ActionDef struct {
+	Name string
+	Args []ArgDef
+	Line int
+}

@@ -1,0 +1,725 @@
+package fsl
+
+import (
+	"fmt"
+	"time"
+
+	"virtualwire/internal/core"
+	"virtualwire/internal/packet"
+)
+
+// Compile parses and lowers a single-scenario FSL script into the six
+// tables. Scripts with several SCENARIO blocks must use CompileAll.
+func Compile(src string) (*core.Program, error) {
+	progs, err := CompileAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(progs) != 1 {
+		return nil, fmt.Errorf("fsl: script defines %d scenarios, want exactly 1", len(progs))
+	}
+	return progs[0], nil
+}
+
+// CompileAll parses a script and lowers every scenario into its own
+// Program; filter, node and variable tables are shared.
+func CompileAll(src string) ([]*core.Program, error) {
+	s, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileScript(s)
+}
+
+// CompileScript lowers a parsed script.
+func CompileScript(s *Script) ([]*core.Program, error) {
+	c := &compiler{}
+	if err := c.lowerShared(s); err != nil {
+		return nil, err
+	}
+	if len(s.Scenarios) == 0 {
+		return nil, fmt.Errorf("fsl: script defines no SCENARIO")
+	}
+	out := make([]*core.Program, 0, len(s.Scenarios))
+	for i := range s.Scenarios {
+		p, err := c.lowerScenario(&s.Scenarios[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+type compiler struct {
+	vars    []string
+	varIdx  map[string]core.VarID
+	filters []core.FilterEntry
+	fltIdx  map[string]core.FilterID
+	nodes   []core.NodeEntry
+	nodeIdx map[string]core.NodeID
+}
+
+func (c *compiler) lowerShared(s *Script) error {
+	c.varIdx = make(map[string]core.VarID)
+	c.fltIdx = make(map[string]core.FilterID)
+	c.nodeIdx = make(map[string]core.NodeID)
+
+	for _, vd := range s.Vars {
+		for _, name := range vd.Names {
+			if _, dup := c.varIdx[name]; dup {
+				return errAt(vd.Line, 1, "variable %q declared twice", name)
+			}
+			c.varIdx[name] = core.VarID(len(c.vars))
+			c.vars = append(c.vars, name)
+		}
+	}
+	for _, fd := range s.Filters {
+		if _, dup := c.fltIdx[fd.Name]; dup {
+			return errAt(fd.Line, 1, "packet definition %q declared twice", fd.Name)
+		}
+		entry := core.FilterEntry{Name: fd.Name}
+		for _, td := range fd.Tuples {
+			tu, err := c.lowerTuple(td)
+			if err != nil {
+				return err
+			}
+			entry.Tuples = append(entry.Tuples, tu)
+		}
+		if len(entry.Tuples) == 0 {
+			return errAt(fd.Line, 1, "packet definition %q has no tuples", fd.Name)
+		}
+		c.fltIdx[fd.Name] = core.FilterID(len(c.filters))
+		c.filters = append(c.filters, entry)
+	}
+	for _, nd := range s.Nodes {
+		if _, dup := c.nodeIdx[nd.Name]; dup {
+			return errAt(nd.Line, 1, "node %q declared twice", nd.Name)
+		}
+		mac, err := packet.ParseMAC(nd.MAC)
+		if err != nil {
+			return errAt(nd.Line, 1, "node %q: %v", nd.Name, err)
+		}
+		ip, err := packet.ParseIP(nd.IP)
+		if err != nil {
+			return errAt(nd.Line, 1, "node %q: %v", nd.Name, err)
+		}
+		c.nodeIdx[nd.Name] = core.NodeID(len(c.nodes))
+		c.nodes = append(c.nodes, core.NodeEntry{Name: nd.Name, MAC: mac, IP: ip})
+	}
+	return nil
+}
+
+func (c *compiler) lowerTuple(td TupleDef) (core.FilterTuple, error) {
+	tu := core.FilterTuple{Off: int(td.Off), Len: int(td.Len), Var: -1}
+	if td.Off < 0 || td.Len <= 0 || td.Len > 16 {
+		return tu, errAt(td.Line, 1, "tuple (offset=%d length=%d) out of range", td.Off, td.Len)
+	}
+	if td.HasMask {
+		m, err := hexBytes(td.Mask, int(td.Len))
+		if err != nil {
+			return tu, errAt(td.Line, 1, "tuple mask %q: %v", td.Mask, err)
+		}
+		tu.Mask = m
+	}
+	if td.IsVar {
+		id, ok := c.varIdx[td.VarName]
+		if !ok {
+			return tu, errAt(td.Line, 1, "tuple references undeclared variable %q", td.VarName)
+		}
+		tu.Var = id
+		return tu, nil
+	}
+	p, err := hexBytes(td.Pattern, int(td.Len))
+	if err != nil {
+		return tu, errAt(td.Line, 1, "tuple pattern %q: %v", td.Pattern, err)
+	}
+	tu.Pattern = p
+	return tu, nil
+}
+
+// hexBytes interprets a numeric spelling as hex bytes, left-padded with
+// zeros to width. Both "0x0010" and "0010" denote {0x00, 0x10}, matching
+// the paper's mixed usage in Figures 2 and 6.
+func hexBytes(text string, width int) ([]byte, error) {
+	if len(text) > 1 && (text[1] == 'x' || text[1] == 'X') {
+		text = text[2:]
+	}
+	if text == "" {
+		return nil, fmt.Errorf("empty hex constant")
+	}
+	if !isHexRun(text) {
+		return nil, fmt.Errorf("not a hex constant")
+	}
+	nbytes := (len(text) + 1) / 2
+	if nbytes > width {
+		return nil, fmt.Errorf("%d hex bytes exceed tuple length %d", nbytes, width)
+	}
+	out := make([]byte, width)
+	// Fill from the right.
+	pos := width*2 - len(text) // nibble index of first digit
+	for i := 0; i < len(text); i++ {
+		d, _ := hexDigit(text[i])
+		byteIdx := (pos + i) / 2
+		if (pos+i)%2 == 0 {
+			out[byteIdx] |= d << 4
+		} else {
+			out[byteIdx] |= d
+		}
+	}
+	return out, nil
+}
+
+// --- scenario lowering ---
+
+type scenarioLowering struct {
+	c    *compiler
+	prog *core.Program
+
+	cntIdx  map[string]core.CounterID
+	termIdx map[string]core.TermID
+}
+
+func (c *compiler) lowerScenario(sc *ScenarioDef) (*core.Program, error) {
+	prog := &core.Program{
+		Name:              sc.Name,
+		InactivityTimeout: sc.Timeout,
+		Vars:              append([]string(nil), c.vars...),
+		Filters:           append([]core.FilterEntry(nil), c.filters...),
+		Nodes:             append([]core.NodeEntry(nil), c.nodes...),
+	}
+	// Deep-copy filter/counter dependents so scenarios stay independent.
+	for i := range prog.Filters {
+		prog.Filters[i].Tuples = append([]core.FilterTuple(nil), prog.Filters[i].Tuples...)
+	}
+	sl := &scenarioLowering{
+		c:       c,
+		prog:    prog,
+		cntIdx:  make(map[string]core.CounterID),
+		termIdx: make(map[string]core.TermID),
+	}
+	for _, cd := range sc.Counters {
+		if err := sl.lowerCounter(cd); err != nil {
+			return nil, err
+		}
+	}
+	for i, rd := range sc.Rules {
+		if err := sl.lowerRule(i+1, rd); err != nil {
+			return nil, err
+		}
+	}
+	sl.wireDependencies()
+	return prog, nil
+}
+
+func (sl *scenarioLowering) node(name string, line int) (core.NodeID, error) {
+	id, ok := sl.c.nodeIdx[name]
+	if !ok {
+		return -1, errAt(line, 1, "unknown node %q (not in NODE_TABLE)", name)
+	}
+	return id, nil
+}
+
+func (sl *scenarioLowering) filter(name string, line int) (core.FilterID, error) {
+	id, ok := sl.c.fltIdx[name]
+	if !ok {
+		return -1, errAt(line, 1, "unknown packet type %q (not in FILTER_TABLE)", name)
+	}
+	return id, nil
+}
+
+func (sl *scenarioLowering) counter(name string, line int) (core.CounterID, error) {
+	id, ok := sl.cntIdx[name]
+	if !ok {
+		return -1, errAt(line, 1, "unknown counter %q", name)
+	}
+	return id, nil
+}
+
+func parseDir(s string, line int) (core.Direction, error) {
+	switch s {
+	case "SEND":
+		return core.DirSend, nil
+	case "RECV":
+		return core.DirRecv, nil
+	}
+	return 0, errAt(line, 1, "direction must be SEND or RECV, got %q", s)
+}
+
+func (sl *scenarioLowering) lowerCounter(cd CounterDef) error {
+	if _, dup := sl.cntIdx[cd.Name]; dup {
+		return errAt(cd.Line, 1, "counter %q declared twice", cd.Name)
+	}
+	entry := core.CounterEntry{Name: cd.Name}
+	if cd.IsLocal {
+		home, err := sl.node(cd.Node, cd.Line)
+		if err != nil {
+			return err
+		}
+		entry.Kind = core.CounterLocal
+		entry.Filter = -1
+		entry.From, entry.To = -1, -1
+		entry.Home = home
+	} else {
+		flt, err := sl.filter(cd.Filter, cd.Line)
+		if err != nil {
+			return err
+		}
+		from, err := sl.node(cd.From, cd.Line)
+		if err != nil {
+			return err
+		}
+		to, err := sl.node(cd.To, cd.Line)
+		if err != nil {
+			return err
+		}
+		dir, err := parseDir(cd.Dir, cd.Line)
+		if err != nil {
+			return err
+		}
+		entry.Kind = core.CounterEvent
+		entry.Filter = flt
+		entry.From, entry.To = from, to
+		entry.Dir = dir
+		if dir == core.DirSend {
+			entry.Home = from
+		} else {
+			entry.Home = to
+		}
+	}
+	sl.cntIdx[cd.Name] = core.CounterID(len(sl.prog.Counters))
+	sl.prog.Counters = append(sl.prog.Counters, entry)
+	return nil
+}
+
+func (sl *scenarioLowering) lowerRule(ruleNo int, rd RuleDef) error {
+	expr, err := sl.lowerExpr(rd.Cond)
+	if err != nil {
+		return err
+	}
+	cond := core.ConditionEntry{Expr: expr, Rule: ruleNo}
+	condID := core.CondID(len(sl.prog.Conds))
+
+	anchor := sl.exprAnchor(expr)
+	evalSet := map[core.NodeID]bool{}
+	for _, ad := range rd.Actions {
+		act, err := sl.lowerAction(ad, anchor)
+		if err != nil {
+			return err
+		}
+		id := core.ActionID(len(sl.prog.Actions))
+		sl.prog.Actions = append(sl.prog.Actions, act)
+		cond.Actions = append(cond.Actions, id)
+		evalSet[act.Node] = true
+	}
+	for n := range evalSet {
+		cond.EvalNodes = append(cond.EvalNodes, n)
+	}
+	sortNodeIDs(cond.EvalNodes)
+	sl.prog.Conds = append(sl.prog.Conds, cond)
+	_ = condID
+	return nil
+}
+
+func sortNodeIDs(ids []core.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// exprAnchor picks the node that evaluates STOP/FLAG_ERR actions: the
+// home of the first term in the condition, or node 0 for (TRUE).
+func (sl *scenarioLowering) exprAnchor(e *core.CondExpr) core.NodeID {
+	terms := e.Terms(nil)
+	if len(terms) == 0 {
+		return 0
+	}
+	return sl.prog.Terms[terms[0]].Home
+}
+
+func (sl *scenarioLowering) lowerExpr(e *ExprNode) (*core.CondExpr, error) {
+	switch e.Kind {
+	case ExprTrue:
+		return &core.CondExpr{Op: core.CondTrue}, nil
+	case ExprAnd, ExprOr:
+		l, err := sl.lowerExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sl.lowerExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		op := core.CondAnd
+		if e.Kind == ExprOr {
+			op = core.CondOr
+		}
+		return &core.CondExpr{Op: op, Kids: []*core.CondExpr{l, r}}, nil
+	case ExprNot:
+		l, err := sl.lowerExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		return &core.CondExpr{Op: core.CondNot, Kids: []*core.CondExpr{l}}, nil
+	case ExprTerm:
+		id, err := sl.lowerTerm(e)
+		if err != nil {
+			return nil, err
+		}
+		return &core.CondExpr{Op: core.CondTerm, Term: id}, nil
+	}
+	return nil, errAt(e.Line, 1, "internal: unknown expression kind %d", e.Kind)
+}
+
+func (sl *scenarioLowering) lowerTerm(e *ExprNode) (core.TermID, error) {
+	lhs, err := sl.lowerOperand(e.LHS, e.Line)
+	if err != nil {
+		return -1, err
+	}
+	rhs, err := sl.lowerOperand(e.RHS, e.Line)
+	if err != nil {
+		return -1, err
+	}
+	if lhs.IsConst && rhs.IsConst {
+		return -1, errAt(e.Line, 1, "term compares two constants; at least one counter required")
+	}
+	var op core.RelOp
+	switch e.Op {
+	case "<":
+		op = core.OpLT
+	case "<=":
+		op = core.OpLE
+	case ">":
+		op = core.OpGT
+	case ">=":
+		op = core.OpGE
+	case "=":
+		op = core.OpEQ
+	case "!=":
+		op = core.OpNE
+	}
+	// Terms are deduplicated (the paper: "a term may appear in multiple
+	// conditions").
+	key := termKey(lhs, op, rhs)
+	if id, ok := sl.termIdx[key]; ok {
+		return id, nil
+	}
+	home := core.NodeID(0)
+	if !lhs.IsConst {
+		home = sl.prog.Counters[lhs.Counter].Home
+	} else {
+		home = sl.prog.Counters[rhs.Counter].Home
+	}
+	id := core.TermID(len(sl.prog.Terms))
+	sl.prog.Terms = append(sl.prog.Terms, core.TermEntry{LHS: lhs, Op: op, RHS: rhs, Home: home})
+	sl.termIdx[key] = id
+	return id, nil
+}
+
+func termKey(lhs core.Operand, op core.RelOp, rhs core.Operand) string {
+	f := func(o core.Operand) string {
+		if o.IsConst {
+			return fmt.Sprintf("#%d", o.Const)
+		}
+		return fmt.Sprintf("c%d", o.Counter)
+	}
+	return f(lhs) + op.String() + f(rhs)
+}
+
+func (sl *scenarioLowering) lowerOperand(od OperandDef, line int) (core.Operand, error) {
+	if od.IsInt {
+		return core.Operand{IsConst: true, Const: od.Int}, nil
+	}
+	id, err := sl.counter(od.Name, line)
+	if err != nil {
+		return core.Operand{}, err
+	}
+	return core.Operand{Counter: id}, nil
+}
+
+// --- actions ---
+
+func (sl *scenarioLowering) lowerAction(ad ActionDef, anchor core.NodeID) (core.ActionEntry, error) {
+	switch ad.Name {
+	case "DROP", "DUP":
+		kind := core.ActDrop
+		if ad.Name == "DUP" {
+			kind = core.ActDup
+		}
+		return sl.faultAction(kind, ad, 4)
+	case "DELAY":
+		act, err := sl.faultAction(core.ActDelay, ad, 5)
+		if err != nil {
+			return act, err
+		}
+		d, err := durationArg(ad.Args[4])
+		if err != nil {
+			return act, errAt(ad.Line, 1, "DELAY duration: %v", err)
+		}
+		act.Duration = d
+		return act, nil
+	case "REORDER":
+		if len(ad.Args) < 5 {
+			return core.ActionEntry{}, errAt(ad.Line, 1,
+				"REORDER needs (pkt_type, from, to, dir, #pkts [, [order]])")
+		}
+		act, err := sl.faultAction(core.ActReorder, ad, -1)
+		if err != nil {
+			return act, err
+		}
+		if ad.Args[4].Kind != ArgInt {
+			return act, errAt(ad.Line, 1, "REORDER #pkts must be an integer")
+		}
+		act.Count = int(ad.Args[4].Int)
+		if act.Count < 2 || act.Count > 64 {
+			return act, errAt(ad.Line, 1, "REORDER #pkts must be in [2,64], got %d", act.Count)
+		}
+		if len(ad.Args) >= 6 {
+			if ad.Args[5].Kind != ArgList {
+				return act, errAt(ad.Line, 1, "REORDER order must be a [..] list")
+			}
+			order := make([]int, 0, len(ad.Args[5].List))
+			seen := make(map[int]bool)
+			for _, v := range ad.Args[5].List {
+				order = append(order, int(v))
+				seen[int(v)] = true
+			}
+			if len(order) != act.Count || len(seen) != act.Count {
+				return act, errAt(ad.Line, 1,
+					"REORDER order must be a permutation of 1..%d", act.Count)
+			}
+			for _, v := range order {
+				if v < 1 || v > act.Count {
+					return act, errAt(ad.Line, 1, "REORDER order entry %d out of range", v)
+				}
+			}
+			act.Order = order
+		}
+		return act, nil
+	case "MODIFY":
+		if len(ad.Args) != 4 && len(ad.Args) != 6 {
+			return core.ActionEntry{}, errAt(ad.Line, 1,
+				"MODIFY needs (pkt_type, from, to, dir [, offset, hex-pattern])")
+		}
+		act, err := sl.faultAction(core.ActModify, ad, -1)
+		if err != nil {
+			return act, err
+		}
+		if len(ad.Args) == 6 {
+			if ad.Args[4].Kind != ArgInt {
+				return act, errAt(ad.Line, 1, "MODIFY offset must be an integer")
+			}
+			act.PatternOff = int(ad.Args[4].Int)
+			if ad.Args[5].Kind != ArgInt {
+				return act, errAt(ad.Line, 1, "MODIFY pattern must be a hex constant")
+			}
+			text := ad.Args[5].Text
+			width := (len(trimHexPrefix(text)) + 1) / 2
+			pat, err := hexBytes(text, width)
+			if err != nil {
+				return act, errAt(ad.Line, 1, "MODIFY pattern: %v", err)
+			}
+			act.Pattern = pat
+		}
+		return act, nil
+	case "FAIL":
+		if len(ad.Args) != 1 || ad.Args[0].Kind != ArgIdent {
+			return core.ActionEntry{}, errAt(ad.Line, 1, "FAIL needs (node)")
+		}
+		n, err := sl.node(ad.Args[0].Name, ad.Line)
+		if err != nil {
+			return core.ActionEntry{}, err
+		}
+		return core.ActionEntry{Kind: core.ActFail, Node: n, Filter: -1, From: -1, To: -1, Counter: -1}, nil
+	case "STOP":
+		if len(ad.Args) != 0 {
+			return core.ActionEntry{}, errAt(ad.Line, 1, "STOP takes no arguments")
+		}
+		return core.ActionEntry{Kind: core.ActStop, Node: anchor, Filter: -1, From: -1, To: -1, Counter: -1}, nil
+	case "FLAG_ERR", "FLAG_ERROR":
+		if len(ad.Args) != 0 {
+			return core.ActionEntry{}, errAt(ad.Line, 1, "%s takes no arguments", ad.Name)
+		}
+		return core.ActionEntry{Kind: core.ActFlagErr, Node: anchor, Filter: -1, From: -1, To: -1, Counter: -1}, nil
+	case "ASSIGN_CNTR":
+		return sl.counterAction(core.ActAssignCntr, ad, true)
+	case "ENABLE_CNTR":
+		return sl.counterAction(core.ActEnableCntr, ad, false)
+	case "DISABLE_CNTR":
+		return sl.counterAction(core.ActDisableCntr, ad, false)
+	case "INCR_CNTR":
+		return sl.counterAction(core.ActIncrCntr, ad, true)
+	case "DECR_CNTR":
+		return sl.counterAction(core.ActDecrCntr, ad, true)
+	case "RESET_CNTR":
+		return sl.counterAction(core.ActResetCntr, ad, false)
+	case "SET_CURTIME":
+		return sl.counterAction(core.ActSetCurTime, ad, false)
+	case "ELAPSED_TIME":
+		return sl.counterAction(core.ActElapsedTime, ad, false)
+	}
+	return core.ActionEntry{}, errAt(ad.Line, 1, "unknown action %q", ad.Name)
+}
+
+func trimHexPrefix(s string) string {
+	if len(s) > 1 && (s[1] == 'x' || s[1] == 'X') {
+		return s[2:]
+	}
+	return s
+}
+
+func durationArg(a ArgDef) (time.Duration, error) {
+	switch a.Kind {
+	case ArgDuration:
+		return a.Dur, nil
+	case ArgInt:
+		// Bare integers are milliseconds (the paper's delay granularity
+		// unit).
+		return time.Duration(a.Int) * time.Millisecond, nil
+	}
+	return 0, fmt.Errorf("expected a duration (e.g. 50ms)")
+}
+
+// faultAction lowers the common (pkt_type, from, to, dir) prefix. argc
+// is the exact arg count to enforce, or -1 to skip the check.
+func (sl *scenarioLowering) faultAction(kind core.ActionKind, ad ActionDef, argc int) (core.ActionEntry, error) {
+	if argc >= 0 && len(ad.Args) != argc {
+		return core.ActionEntry{}, errAt(ad.Line, 1,
+			"%s needs %d arguments, got %d", ad.Name, argc, len(ad.Args))
+	}
+	if len(ad.Args) < 4 {
+		return core.ActionEntry{}, errAt(ad.Line, 1,
+			"%s needs at least (pkt_type, from, to, dir)", ad.Name)
+	}
+	for i := 0; i < 4; i++ {
+		if ad.Args[i].Kind != ArgIdent && i != 3 {
+			return core.ActionEntry{}, errAt(ad.Line, 1,
+				"%s argument %d must be a name", ad.Name, i+1)
+		}
+	}
+	flt, err := sl.filter(ad.Args[0].Name, ad.Line)
+	if err != nil {
+		return core.ActionEntry{}, err
+	}
+	from, err := sl.node(ad.Args[1].Name, ad.Line)
+	if err != nil {
+		return core.ActionEntry{}, err
+	}
+	to, err := sl.node(ad.Args[2].Name, ad.Line)
+	if err != nil {
+		return core.ActionEntry{}, err
+	}
+	dir, err := parseDir(ad.Args[3].Name, ad.Line)
+	if err != nil {
+		return core.ActionEntry{}, err
+	}
+	exec := from
+	if dir == core.DirRecv {
+		exec = to
+	}
+	return core.ActionEntry{
+		Kind: kind, Node: exec,
+		Filter: flt, From: from, To: to, Dir: dir,
+		Counter: -1,
+	}, nil
+}
+
+func (sl *scenarioLowering) counterAction(kind core.ActionKind, ad ActionDef, valued bool) (core.ActionEntry, error) {
+	if len(ad.Args) < 1 || ad.Args[0].Kind != ArgIdent {
+		return core.ActionEntry{}, errAt(ad.Line, 1, "%s needs a counter name", ad.Name)
+	}
+	maxArgs := 1
+	if valued {
+		maxArgs = 2
+	}
+	if len(ad.Args) > maxArgs {
+		return core.ActionEntry{}, errAt(ad.Line, 1, "%s takes at most %d arguments", ad.Name, maxArgs)
+	}
+	id, err := sl.counter(ad.Args[0].Name, ad.Line)
+	if err != nil {
+		return core.ActionEntry{}, err
+	}
+	val := int64(0)
+	if kind == core.ActIncrCntr || kind == core.ActDecrCntr {
+		val = 1 // default step
+	}
+	if valued && len(ad.Args) == 2 {
+		if ad.Args[1].Kind != ArgInt {
+			return core.ActionEntry{}, errAt(ad.Line, 1, "%s value must be an integer", ad.Name)
+		}
+		val = ad.Args[1].Int
+	}
+	return core.ActionEntry{
+		Kind: kind, Node: sl.prog.Counters[id].Home,
+		Filter: -1, From: -1, To: -1,
+		Counter: id, Value: val,
+	}, nil
+}
+
+// wireDependencies fills the reverse-dependency columns of the counter
+// and term tables that Figure 3 shows: counter -> terms, counter ->
+// remote nodes needing its value, term -> conditions, term -> nodes
+// needing its status.
+func (sl *scenarioLowering) wireDependencies() {
+	p := sl.prog
+	// term -> conditions
+	for ci := range p.Conds {
+		for _, t := range p.Conds[ci].Expr.Terms(nil) {
+			p.Terms[t].Conds = appendUniqueCond(p.Terms[t].Conds, core.CondID(ci))
+		}
+	}
+	// counter -> terms, counter -> remote term homes
+	for ti := range p.Terms {
+		t := &p.Terms[ti]
+		for _, opnd := range []core.Operand{t.LHS, t.RHS} {
+			if opnd.IsConst {
+				continue
+			}
+			c := &p.Counters[opnd.Counter]
+			c.Terms = appendUniqueTerm(c.Terms, core.TermID(ti))
+			if c.Home != t.Home {
+				c.RemoteNodes = appendUniqueNode(c.RemoteNodes, t.Home)
+			}
+		}
+	}
+	// term -> status nodes (condition evaluators other than term home)
+	for ti := range p.Terms {
+		t := &p.Terms[ti]
+		for _, ci := range t.Conds {
+			for _, n := range p.Conds[ci].EvalNodes {
+				if n != t.Home {
+					t.StatusNodes = appendUniqueNode(t.StatusNodes, n)
+				}
+			}
+		}
+	}
+}
+
+func appendUniqueTerm(s []core.TermID, v core.TermID) []core.TermID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func appendUniqueCond(s []core.CondID, v core.CondID) []core.CondID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func appendUniqueNode(s []core.NodeID, v core.NodeID) []core.NodeID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}

@@ -1,0 +1,525 @@
+package fsl
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"virtualwire/internal/core"
+)
+
+func readScript(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile("../../scripts/" + name)
+	if err != nil {
+		t.Fatalf("read script: %v", err)
+	}
+	return string(b)
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll("VAR SeqNo; FILTER_TABLE f: (34 2 0x6000) END")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	kinds := []TokenKind{
+		TokIdent, TokIdent, TokSemi, TokIdent, TokIdent, TokColon,
+		TokLParen, TokInt, TokInt, TokInt, TokRParen, TokIdent, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (kind %d), want kind %d", i, toks[i], toks[i].Kind, k)
+		}
+	}
+	if toks[7].Int != 34 || toks[9].Int != 0x6000 {
+		t.Errorf("numeric values: %d %d", toks[7].Int, toks[9].Int)
+	}
+}
+
+func TestLexerMACAndIP(t *testing.T) {
+	toks, err := lexAll("node0 00:46:61:af:fe:23 192.168.1.1")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[0].Kind != TokIdent || toks[1].Kind != TokMAC || toks[2].Kind != TokIP {
+		t.Fatalf("kinds: %v %v %v", toks[0].Kind, toks[1].Kind, toks[2].Kind)
+	}
+	if toks[1].Text != "00:46:61:af:fe:23" {
+		t.Errorf("MAC text %q", toks[1].Text)
+	}
+}
+
+func TestLexerDurations(t *testing.T) {
+	tests := []struct {
+		src  string
+		want time.Duration
+	}{
+		{"1sec", time.Second},
+		{"500ms", 500 * time.Millisecond},
+		{"2s", 2 * time.Second},
+		{"50us", 50 * time.Microsecond},
+	}
+	for _, tt := range tests {
+		toks, err := lexAll(tt.src)
+		if err != nil {
+			t.Errorf("lex %q: %v", tt.src, err)
+			continue
+		}
+		if toks[0].Kind != TokDuration || toks[0].Dur != tt.want {
+			t.Errorf("lex %q = %v (%v)", tt.src, toks[0].Dur, toks[0].Kind)
+		}
+	}
+}
+
+func TestLexerOperatorsAndComments(t *testing.T) {
+	toks, err := lexAll("/* hi */ (A >= 2) && !(B != 3) || TRUE >> // tail\n;")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{
+		TokLParen, TokIdent, TokGE, TokInt, TokRParen, TokAnd, TokNot,
+		TokLParen, TokIdent, TokNE, TokInt, TokRParen, TokOr, TokIdent,
+		TokArrow, TokSemi, TokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d kind %d, want %d", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"/* open", "a & b", "a | b", "0xzz", "5parsecs", "@"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lex %q: want error", src)
+		}
+	}
+}
+
+func TestHexBytes(t *testing.T) {
+	tests := []struct {
+		text    string
+		width   int
+		want    []byte
+		wantErr bool
+	}{
+		{"0x6000", 2, []byte{0x60, 0x00}, false},
+		{"0010", 2, []byte{0x00, 0x10}, false},
+		{"0x10", 1, []byte{0x10}, false},
+		{"0x1", 2, []byte{0x00, 0x01}, false},
+		{"0x123", 2, []byte{0x01, 0x23}, false},
+		{"0x999900", 2, nil, true}, // too wide
+		{"0x", 2, nil, true},
+	}
+	for _, tt := range tests {
+		got, err := hexBytes(tt.text, tt.width)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("hexBytes(%q,%d) err=%v", tt.text, tt.width, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("hexBytes(%q,%d) = %x", tt.text, tt.width, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("hexBytes(%q,%d) = %x, want %x", tt.text, tt.width, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParseFig5Script(t *testing.T) {
+	s, err := Parse(readScript(t, "fig5_tcp_ss_ca.fsl"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(s.Filters) != 4 {
+		t.Errorf("filters = %d, want 4", len(s.Filters))
+	}
+	if len(s.Nodes) != 2 {
+		t.Errorf("nodes = %d, want 2", len(s.Nodes))
+	}
+	if len(s.Scenarios) != 1 {
+		t.Fatalf("scenarios = %d", len(s.Scenarios))
+	}
+	sc := s.Scenarios[0]
+	if sc.Name != "TCP_SS_CA_algo" {
+		t.Errorf("name %q", sc.Name)
+	}
+	if len(sc.Counters) != 8 {
+		t.Errorf("counters = %d, want 8", len(sc.Counters))
+	}
+	if len(sc.Rules) != 8 {
+		t.Errorf("rules = %d, want 8", len(sc.Rules))
+	}
+	// The init rule carries 7 actions.
+	if got := len(sc.Rules[0].Actions); got != 7 {
+		t.Errorf("init rule actions = %d, want 7", got)
+	}
+}
+
+func TestParseFig6Script(t *testing.T) {
+	s, err := Parse(readScript(t, "fig6_rether_failure.fsl"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sc := s.Scenarios[0]
+	if sc.Timeout != time.Second {
+		t.Errorf("timeout = %v, want 1s", sc.Timeout)
+	}
+	if len(sc.Counters) != 5 {
+		t.Errorf("counters = %d, want 5", len(sc.Counters))
+	}
+	if len(sc.Rules) != 7 {
+		t.Errorf("rules = %d, want 7", len(sc.Rules))
+	}
+}
+
+func TestCompileFig5Tables(t *testing.T) {
+	p, err := Compile(readScript(t, "fig5_tcp_ss_ca.fsl"))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(p.Filters) != 4 || len(p.Nodes) != 2 || len(p.Counters) != 8 {
+		t.Fatalf("table sizes: f=%d n=%d c=%d", len(p.Filters), len(p.Nodes), len(p.Counters))
+	}
+	// Every counter of this scenario is homed on node1 (index 0).
+	for _, c := range p.Counters {
+		if c.Home != 0 {
+			t.Errorf("counter %s homed at node %d, want node1", c.Name, c.Home)
+		}
+	}
+	// SYNACK is an event counter observed at node1 on RECV.
+	id, ok := p.CounterByName("SYNACK")
+	if !ok {
+		t.Fatal("SYNACK missing")
+	}
+	c := p.Counters[id]
+	if c.Kind != core.CounterEvent || c.Dir != core.DirRecv || c.From != 1 || c.To != 0 {
+		t.Errorf("SYNACK = %+v", c)
+	}
+	// CWND is local.
+	id, ok = p.CounterByName("CWND")
+	if !ok {
+		t.Fatal("CWND missing")
+	}
+	if p.Counters[id].Kind != core.CounterLocal {
+		t.Errorf("CWND kind = %v", p.Counters[id].Kind)
+	}
+	// The DROP action executes at node1 (RECV endpoint).
+	var drops int
+	for _, a := range p.Actions {
+		if a.Kind == core.ActDrop {
+			drops++
+			if a.Node != 0 || a.Dir != core.DirRecv {
+				t.Errorf("DROP = %+v", a)
+			}
+		}
+	}
+	if drops != 1 {
+		t.Errorf("drops = %d", drops)
+	}
+	// Term deduplication: (ACK = 1) appears in two rules but once in
+	// the table.
+	ackTerms := 0
+	ackID, _ := p.CounterByName("ACK")
+	for _, tm := range p.Terms {
+		if !tm.LHS.IsConst && tm.LHS.Counter == ackID && tm.Op == core.OpEQ {
+			ackTerms++
+		}
+	}
+	if ackTerms != 1 {
+		t.Errorf("(ACK = 1) terms = %d, want 1 (dedup)", ackTerms)
+	}
+	// No cross-node propagation needed in this scenario.
+	for _, c := range p.Counters {
+		if len(c.RemoteNodes) != 0 {
+			t.Errorf("counter %s pushes to %v; scenario is single-node", c.Name, c.RemoteNodes)
+		}
+	}
+}
+
+func TestCompileFig6Tables(t *testing.T) {
+	p, err := Compile(readScript(t, "fig6_rether_failure.fsl"))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if p.InactivityTimeout != time.Second {
+		t.Errorf("timeout %v", p.InactivityTimeout)
+	}
+	// TokensFrom2 is observed at node2 on SEND.
+	id, ok := p.CounterByName("TokensFrom2")
+	if !ok {
+		t.Fatal("TokensFrom2 missing")
+	}
+	if p.Counters[id].Home != 1 || p.Counters[id].Dir != core.DirSend {
+		t.Errorf("TokensFrom2 = %+v", p.Counters[id])
+	}
+	// FAIL executes on node3 (index 2): distributed rule execution.
+	var fails int
+	for _, a := range p.Actions {
+		if a.Kind == core.ActFail {
+			fails++
+			if a.Node != 2 {
+				t.Errorf("FAIL at node %d, want node3", a.Node)
+			}
+		}
+	}
+	if fails != 1 {
+		t.Errorf("fails = %d", fails)
+	}
+	// The rule (TokensFrom2 = 3) >> ENABLE_CNTR(TokensTo4) is evaluated
+	// at node4, so the term homed at node2 must push status to node4.
+	found := false
+	for _, tm := range p.Terms {
+		if tm.LHS.IsConst || p.Counters[tm.LHS.Counter].Name != "TokensFrom2" {
+			continue
+		}
+		if tm.Op == core.OpEQ {
+			for _, n := range tm.StatusNodes {
+				if n == 3 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("(TokensFrom2 = 3) does not push status to node4")
+	}
+	// tr_token_ack's bare "0010" pattern means 0x0010.
+	fid, ok := p.FilterByName("tr_token_ack")
+	if !ok {
+		t.Fatal("tr_token_ack missing")
+	}
+	tu := p.Filters[fid].Tuples[1]
+	if tu.Pattern[0] != 0x00 || tu.Pattern[1] != 0x10 {
+		t.Errorf("tr_token_ack pattern = %x, want 0x0010", tu.Pattern)
+	}
+}
+
+func TestCompileVariableFilters(t *testing.T) {
+	src := `
+VAR SeqNoData;
+FILTER_TABLE
+TCP_data_rt1: (34 2 0x6000), (38 4 SeqNoData), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:00:00:00:00:01 10.0.0.1
+END
+SCENARIO s
+RT: (TCP_data_rt1, node1, node1, SEND)
+(TRUE) >> ENABLE_CNTR( RT );
+END`
+	p, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(p.Vars) != 1 || p.Vars[0] != "SeqNoData" {
+		t.Fatalf("vars = %v", p.Vars)
+	}
+	tu := p.Filters[0].Tuples[1]
+	if tu.Var != 0 || tu.Pattern != nil {
+		t.Errorf("variable tuple = %+v", tu)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	base := `
+FILTER_TABLE
+f: (12 2 0x0800)
+END
+NODE_TABLE
+n1 00:00:00:00:00:01 10.0.0.1
+END
+`
+	tests := []struct {
+		name string
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"unknown filter", base + "SCENARIO s\nC: (nosuch, n1, n1, SEND)\n(TRUE) >> STOP;\nEND", "unknown packet type"},
+		{"unknown node", base + "SCENARIO s\nC: (f, n1, ghost, SEND)\n(TRUE) >> STOP;\nEND", "unknown node"},
+		{"bad direction", base + "SCENARIO s\nC: (f, n1, n1, SIDEWAYS)\n(TRUE) >> STOP;\nEND", "SEND or RECV"},
+		{"unknown counter", base + "SCENARIO s\n((X > 1)) >> STOP;\nEND", "unknown counter"},
+		{"const-const term", base + "SCENARIO s\n((1 > 2)) >> STOP;\nEND", "two constants"},
+		{"unknown action", base + "SCENARIO s\nC: (n1)\n(TRUE) >> EXPLODE( C );\nEND", "unknown action"},
+		{"dup counter", base + "SCENARIO s\nC: (n1)\nC: (n1)\n(TRUE) >> STOP;\nEND", "declared twice"},
+		{"undeclared var", "FILTER_TABLE\nf: (0 2 NoVar)\nEND\n" + "NODE_TABLE\nn1 00:00:00:00:00:01 10.0.0.1\nEND\nSCENARIO s\n(TRUE) >> STOP;\nEND", "undeclared variable"},
+		{"no scenario", base, "no SCENARIO"},
+		{"reorder bad perm", base + "SCENARIO s\n(TRUE) >> REORDER( f, n1, n1, SEND, 3, [1 1 2] );\nEND", "permutation"},
+		{"stop with args", base + "SCENARIO s\n(TRUE) >> STOP( n1 );\nEND", "no arguments"},
+		{"pattern too wide", "FILTER_TABLE\nf: (12 1 0x0800)\nEND\nNODE_TABLE\nn1 00:00:00:00:00:01 10.0.0.1\nEND\nSCENARIO s\n(TRUE) >> STOP;\nEND", "exceed"},
+	}
+	for _, tt := range tests {
+		_, err := Compile(tt.src)
+		if err == nil {
+			t.Errorf("%s: compile succeeded, want error containing %q", tt.name, tt.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%s: error %q does not contain %q", tt.name, err, tt.frag)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"FILTER_TABLE f: (34 2 0x6000)",                // missing END
+		"NODE_TABLE n1 00:00:00:00:00:01",              // missing IP
+		"SCENARIO s (X > 1) STOP; END",                 // missing >>
+		"VAR a b;",                                     // missing comma
+		"SCENARIO s\nC: (f, n1)\n(TRUE) >> STOP;\nEND", // short counter def
+	}
+	for _, src := range tests {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestActionSpellings(t *testing.T) {
+	// The paper writes both DROP(a, b, c, RECV) and DROP a, b, c, RECV.
+	mk := func(actionLine string) string {
+		return `
+FILTER_TABLE
+f: (12 2 0x0800)
+END
+NODE_TABLE
+n1 00:00:00:00:00:01 10.0.0.1
+n2 00:00:00:00:00:02 10.0.0.2
+END
+SCENARIO s
+(TRUE) >> ` + actionLine + `
+END`
+	}
+	for _, line := range []string{
+		"DROP f, n1, n2, RECV;",
+		"DROP( f, n1, n2, RECV );",
+		"FLAG_ERR;",
+		"FLAG_ERROR;",
+		"DELAY( f, n1, n2, SEND, 50ms );",
+		"DELAY f, n1, n2, SEND, 50;",
+		"REORDER( f, n1, n2, SEND, 3 );",
+		"REORDER( f, n1, n2, SEND, 3, [3 1 2] );",
+		"MODIFY( f, n1, n2, RECV );",
+		"MODIFY( f, n1, n2, RECV, 20, 0xdead );",
+	} {
+		if _, err := Compile(mk(line)); err != nil {
+			t.Errorf("action %q: %v", line, err)
+		}
+	}
+}
+
+func TestCompileAllMultiScenario(t *testing.T) {
+	src := `
+FILTER_TABLE
+f: (12 2 0x0800)
+END
+NODE_TABLE
+n1 00:00:00:00:00:01 10.0.0.1
+END
+SCENARIO a
+C: (n1)
+(TRUE) >> ASSIGN_CNTR( C, 5 );
+END
+SCENARIO b 2sec
+D: (n1)
+(TRUE) >> ASSIGN_CNTR( D, 7 );
+END`
+	progs, err := CompileAll(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("programs = %d", len(progs))
+	}
+	if progs[0].Name != "a" || progs[1].Name != "b" {
+		t.Errorf("names: %s %s", progs[0].Name, progs[1].Name)
+	}
+	if progs[1].InactivityTimeout != 2*time.Second {
+		t.Errorf("timeout %v", progs[1].InactivityTimeout)
+	}
+	if _, err := Compile(src); err == nil {
+		t.Error("Compile accepted a two-scenario script")
+	}
+}
+
+func TestDumpRendersAllTables(t *testing.T) {
+	p, err := Compile(readScript(t, "fig6_rether_failure.fsl"))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	d := p.Dump()
+	for _, want := range []string{
+		"FILTER TABLE", "NODE TABLE", "COUNTER TABLE",
+		"TERM TABLE", "CONDITION TABLE", "ACTION TABLE",
+		"tr_token", "FAIL @node3", "STOP", "inactivity timeout 1s",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+func TestLexerMACLookaheadNegatives(t *testing.T) {
+	// Things that look almost like MACs must lex as identifiers/colons.
+	toks, err := lexAll("ab: (12 2 0x0800)")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[0].Kind != TokIdent || toks[0].Text != "ab" || toks[1].Kind != TokColon {
+		t.Errorf("counter-def-like prefix mislexed: %v %v", toks[0], toks[1])
+	}
+	// Double-equals is accepted as equality.
+	toks, err = lexAll("A == 2")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[1].Kind != TokEQ {
+		t.Errorf("'==' lexed as %v", toks[1])
+	}
+	// A 7-group run lexes as a MAC followed by ':' and an identifier —
+	// never as one oversized token.
+	toks, err = lexAll("aa:bb:cc:dd:ee:ff:aa")
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	if toks[0].Kind != TokMAC || toks[0].Text != "aa:bb:cc:dd:ee:ff" ||
+		toks[1].Kind != TokColon || toks[2].Kind != TokIdent {
+		t.Errorf("7-group run: %v %v %v", toks[0], toks[1], toks[2])
+	}
+}
+
+func TestParseWordOperators(t *testing.T) {
+	src := `
+FILTER_TABLE
+f: (12 2 0x0800)
+END
+NODE_TABLE
+n1 00:00:00:00:00:01 10.0.0.1
+END
+SCENARIO s
+A: (n1)
+B: (n1)
+((A = 1) AND NOT (B = 1) OR TRUE) >> ASSIGN_CNTR( A, 1 );
+END`
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("AND/OR/NOT spelling rejected: %v", err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package fsl implements the Fault Specification Language (Section 4):
+// lexer, parser, AST and the compiler that lowers a script into the six
+// tables of internal/core. The grammar is reconstructed from the paper's
+// Figures 2, 5 and 6 and Tables I and II; both spellings the paper uses
+// are accepted wherever it is inconsistent (action arguments with or
+// without parentheses, FLAG_ERR vs FLAG_ERROR, hex patterns with or
+// without the 0x prefix).
+package fsl
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota + 1
+	TokIdent
+	TokInt      // decimal or 0x-prefixed integer; Text preserves spelling
+	TokDuration // number with a time unit, e.g. 1sec, 500ms
+	TokMAC      // aa:bb:cc:dd:ee:ff
+	TokIP       // dotted quad
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokColon
+	TokArrow // >>
+	TokAnd   // && or AND
+	TokOr    // || or OR
+	TokNot   // ! or NOT
+	TokLT
+	TokLE
+	TokGT
+	TokGE
+	TokEQ // =
+	TokNE // !=
+)
+
+// Token is one lexical unit with source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Int  int64
+	Dur  time.Duration
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of script"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// SyntaxError is a lexing or parsing failure with position information.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("fsl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexRun(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if _, ok := hexDigit(s[i]); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func hexDigit(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isClusterChar(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '.'
+}
+
+// skipSpaceAndComments consumes whitespace, /* */ and // comments.
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.at(1) == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.at(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(line, col, "unterminated /* comment")
+			}
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peekByte()
+
+	// Punctuation and operators.
+	switch c {
+	case '(':
+		l.advance()
+		return Token{Kind: TokLParen, Text: "(", Line: line, Col: col}, nil
+	case ')':
+		l.advance()
+		return Token{Kind: TokRParen, Text: ")", Line: line, Col: col}, nil
+	case '[':
+		l.advance()
+		return Token{Kind: TokLBracket, Text: "[", Line: line, Col: col}, nil
+	case ']':
+		l.advance()
+		return Token{Kind: TokRBracket, Text: "]", Line: line, Col: col}, nil
+	case ',':
+		l.advance()
+		return Token{Kind: TokComma, Text: ",", Line: line, Col: col}, nil
+	case ';':
+		l.advance()
+		return Token{Kind: TokSemi, Text: ";", Line: line, Col: col}, nil
+	case ':':
+		l.advance()
+		return Token{Kind: TokColon, Text: ":", Line: line, Col: col}, nil
+	case '>':
+		l.advance()
+		switch l.peekByte() {
+		case '>':
+			l.advance()
+			return Token{Kind: TokArrow, Text: ">>", Line: line, Col: col}, nil
+		case '=':
+			l.advance()
+			return Token{Kind: TokGE, Text: ">=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokGT, Text: ">", Line: line, Col: col}, nil
+	case '<':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return Token{Kind: TokLE, Text: "<=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokLT, Text: "<", Line: line, Col: col}, nil
+	case '=':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+		}
+		return Token{Kind: TokEQ, Text: "=", Line: line, Col: col}, nil
+	case '!':
+		l.advance()
+		if l.peekByte() == '=' {
+			l.advance()
+			return Token{Kind: TokNE, Text: "!=", Line: line, Col: col}, nil
+		}
+		return Token{Kind: TokNot, Text: "!", Line: line, Col: col}, nil
+	case '&':
+		l.advance()
+		if l.peekByte() != '&' {
+			return Token{}, errAt(line, col, "expected && (single & is not an operator)")
+		}
+		l.advance()
+		return Token{Kind: TokAnd, Text: "&&", Line: line, Col: col}, nil
+	case '|':
+		l.advance()
+		if l.peekByte() != '|' {
+			return Token{}, errAt(line, col, "expected || (single | is not an operator)")
+		}
+		l.advance()
+		return Token{Kind: TokOr, Text: "||", Line: line, Col: col}, nil
+	}
+
+	if !isClusterChar(c) {
+		return Token{}, errAt(line, col, "unexpected character %q", c)
+	}
+
+	// Cluster: identifiers, numbers, durations, IPs. A MAC address is
+	// detected by lookahead: hex-pair cluster followed by ':' hex-pair
+	// groups.
+	start := l.pos
+	for l.pos < len(l.src) && isClusterChar(l.peekByte()) {
+		l.advance()
+	}
+	word := l.src[start:l.pos]
+
+	if len(word) == 2 && isHexRun(word) && l.peekByte() == ':' && l.looksLikeMAC() {
+		mac := word
+		for i := 0; i < 5; i++ {
+			l.advance() // ':'
+			p := l.pos
+			l.advance()
+			l.advance()
+			mac += ":" + l.src[p:p+2]
+		}
+		return Token{Kind: TokMAC, Text: mac, Line: line, Col: col}, nil
+	}
+
+	return classifyCluster(word, line, col)
+}
+
+// looksLikeMAC checks that the five ":hh" groups follow.
+func (l *lexer) looksLikeMAC() bool {
+	p := l.pos
+	for i := 0; i < 5; i++ {
+		if p >= len(l.src) || l.src[p] != ':' {
+			return false
+		}
+		p++
+		if p+1 >= len(l.src) {
+			return false
+		}
+		if _, ok := hexDigit(l.src[p]); !ok {
+			return false
+		}
+		if _, ok := hexDigit(l.src[p+1]); !ok {
+			return false
+		}
+		p += 2
+	}
+	// Must not be followed by another hex char (would be a longer run).
+	if p < len(l.src) {
+		if _, ok := hexDigit(l.src[p]); ok {
+			return false
+		}
+	}
+	return true
+}
+
+var durationUnits = map[string]time.Duration{
+	"ns":   time.Nanosecond,
+	"us":   time.Microsecond,
+	"ms":   time.Millisecond,
+	"s":    time.Second,
+	"sec":  time.Second,
+	"secs": time.Second,
+	"min":  time.Minute,
+}
+
+func classifyCluster(word string, line, col int) (Token, error) {
+	// Dotted quad?
+	if strings.Count(word, ".") == 3 && isDigit(word[0]) {
+		return Token{Kind: TokIP, Text: word, Line: line, Col: col}, nil
+	}
+	if isDigit(word[0]) {
+		// 0x hex integer.
+		if strings.HasPrefix(word, "0x") || strings.HasPrefix(word, "0X") {
+			digits := word[2:]
+			if !isHexRun(digits) || digits == "" {
+				return Token{}, errAt(line, col, "malformed hex constant %q", word)
+			}
+			var v int64
+			for i := 0; i < len(digits); i++ {
+				d, _ := hexDigit(digits[i])
+				v = v<<4 | int64(d)
+			}
+			return Token{Kind: TokInt, Text: word, Int: v, Line: line, Col: col}, nil
+		}
+		// Split leading digits from a possible unit suffix.
+		i := 0
+		for i < len(word) && isDigit(word[i]) {
+			i++
+		}
+		var v int64
+		for _, d := range word[:i] {
+			v = v*10 + int64(d-'0')
+		}
+		if i == len(word) {
+			return Token{Kind: TokInt, Text: word, Int: v, Line: line, Col: col}, nil
+		}
+		unit, ok := durationUnits[strings.ToLower(word[i:])]
+		if !ok {
+			return Token{}, errAt(line, col, "malformed number %q (unknown unit %q)", word, word[i:])
+		}
+		return Token{
+			Kind: TokDuration, Text: word,
+			Dur: time.Duration(v) * unit, Line: line, Col: col,
+		}, nil
+	}
+	// Word operators.
+	switch word {
+	case "AND":
+		return Token{Kind: TokAnd, Text: word, Line: line, Col: col}, nil
+	case "OR":
+		return Token{Kind: TokOr, Text: word, Line: line, Col: col}, nil
+	case "NOT":
+		return Token{Kind: TokNot, Text: word, Line: line, Col: col}, nil
+	}
+	return Token{Kind: TokIdent, Text: word, Line: line, Col: col}, nil
+}
+
+// lexAll tokenizes the whole source (used by the parser).
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package fsl
+
+import (
+	"time"
+)
+
+// Parse lexes and parses an FSL source file.
+func Parse(src string) (*Script, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.script()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokenKind, what string) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errAt(t.Line, t.Col, "expected %s, found %s", what, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) script() (*Script, error) {
+	s := &Script{}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokEOF:
+			return s, nil
+		case t.Kind == TokIdent && t.Text == "VAR":
+			v, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Vars = append(s.Vars, v)
+		case t.Kind == TokIdent && t.Text == "FILTER_TABLE":
+			fs, err := p.filterTable()
+			if err != nil {
+				return nil, err
+			}
+			s.Filters = append(s.Filters, fs...)
+		case t.Kind == TokIdent && t.Text == "NODE_TABLE":
+			ns, err := p.nodeTable()
+			if err != nil {
+				return nil, err
+			}
+			s.Nodes = append(s.Nodes, ns...)
+		case t.Kind == TokIdent && t.Text == "SCENARIO":
+			sc, err := p.scenario()
+			if err != nil {
+				return nil, err
+			}
+			s.Scenarios = append(s.Scenarios, sc)
+		default:
+			return nil, errAt(t.Line, t.Col,
+				"expected VAR, FILTER_TABLE, NODE_TABLE or SCENARIO, found %s", t)
+		}
+	}
+}
+
+func (p *parser) varDecl() (VarDecl, error) {
+	line := p.cur().Line
+	p.advance() // VAR
+	var v VarDecl
+	v.Line = line
+	for {
+		t, err := p.expect(TokIdent, "variable name")
+		if err != nil {
+			return v, err
+		}
+		v.Names = append(v.Names, t.Text)
+		if p.cur().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokSemi, "';' after VAR declaration"); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+func (p *parser) filterTable() ([]FilterDef, error) {
+	p.advance() // FILTER_TABLE
+	var out []FilterDef
+	for {
+		t := p.cur()
+		if t.Kind == TokIdent && t.Text == "END" {
+			p.advance()
+			return out, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, errAt(t.Line, t.Col, "FILTER_TABLE not terminated by END")
+		}
+		name, err := p.expect(TokIdent, "packet definition name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon, "':' after packet definition name"); err != nil {
+			return nil, err
+		}
+		f := FilterDef{Name: name.Text, Line: name.Line}
+		for {
+			tu, err := p.tuple()
+			if err != nil {
+				return nil, err
+			}
+			f.Tuples = append(f.Tuples, tu)
+			if p.cur().Kind == TokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		out = append(out, f)
+	}
+}
+
+// tuple parses (off len [mask] pattern) where mask/pattern are hex
+// constants (0x prefix optional) or a VAR name for the pattern.
+func (p *parser) tuple() (TupleDef, error) {
+	var tu TupleDef
+	open, err := p.expect(TokLParen, "'(' starting filter tuple")
+	if err != nil {
+		return tu, err
+	}
+	tu.Line = open.Line
+	offTok, err := p.expect(TokInt, "tuple offset")
+	if err != nil {
+		return tu, err
+	}
+	lenTok, err := p.expect(TokInt, "tuple length")
+	if err != nil {
+		return tu, err
+	}
+	tu.Off, tu.Len = offTok.Int, lenTok.Int
+
+	var fields []Token
+	for p.cur().Kind == TokInt || p.cur().Kind == TokIdent {
+		fields = append(fields, p.advance())
+	}
+	if _, err := p.expect(TokRParen, "')' ending filter tuple"); err != nil {
+		return tu, err
+	}
+	switch len(fields) {
+	case 1:
+		f := fields[0]
+		if f.Kind == TokIdent {
+			tu.IsVar = true
+			tu.VarName = f.Text
+		} else {
+			tu.Pattern = f.Text
+		}
+	case 2:
+		if fields[0].Kind != TokInt {
+			return tu, errAt(fields[0].Line, fields[0].Col, "tuple mask must be a hex constant")
+		}
+		tu.HasMask = true
+		tu.Mask = fields[0].Text
+		f := fields[1]
+		if f.Kind == TokIdent {
+			tu.IsVar = true
+			tu.VarName = f.Text
+		} else {
+			tu.Pattern = f.Text
+		}
+	default:
+		return tu, errAt(open.Line, open.Col,
+			"tuple needs (offset length [mask] pattern), got %d trailing fields", len(fields))
+	}
+	return tu, nil
+}
+
+func (p *parser) nodeTable() ([]NodeDef, error) {
+	p.advance() // NODE_TABLE
+	var out []NodeDef
+	for {
+		t := p.cur()
+		if t.Kind == TokIdent && t.Text == "END" {
+			p.advance()
+			return out, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, errAt(t.Line, t.Col, "NODE_TABLE not terminated by END")
+		}
+		name, err := p.expect(TokIdent, "node name")
+		if err != nil {
+			return nil, err
+		}
+		mac, err := p.expect(TokMAC, "node MAC address")
+		if err != nil {
+			return nil, err
+		}
+		ip, err := p.expect(TokIP, "node IP address")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NodeDef{Name: name.Text, MAC: mac.Text, IP: ip.Text, Line: name.Line})
+	}
+}
+
+func (p *parser) scenario() (ScenarioDef, error) {
+	var sc ScenarioDef
+	sc.Line = p.cur().Line
+	p.advance() // SCENARIO
+	name, err := p.expect(TokIdent, "scenario name")
+	if err != nil {
+		return sc, err
+	}
+	sc.Name = name.Text
+	if p.cur().Kind == TokDuration {
+		sc.Timeout = p.advance().Dur
+	} else if p.cur().Kind == TokInt && p.peek().Kind == TokIdent &&
+		isDurationUnit(p.peek().Text) {
+		// "1 sec" with a space.
+		n := p.advance().Int
+		u := p.advance().Text
+		sc.Timeout = time.Duration(n) * durationUnits[u]
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokIdent && t.Text == "END":
+			p.advance()
+			return sc, nil
+		case t.Kind == TokEOF:
+			return sc, errAt(t.Line, t.Col, "SCENARIO %s not terminated by END", sc.Name)
+		case t.Kind == TokIdent && p.peek().Kind == TokColon:
+			cd, err := p.counterDef()
+			if err != nil {
+				return sc, err
+			}
+			sc.Counters = append(sc.Counters, cd)
+		case t.Kind == TokLParen:
+			r, err := p.rule()
+			if err != nil {
+				return sc, err
+			}
+			sc.Rules = append(sc.Rules, r)
+		default:
+			return sc, errAt(t.Line, t.Col,
+				"expected counter definition, rule or END in scenario, found %s", t)
+		}
+	}
+}
+
+func isDurationUnit(s string) bool {
+	_, ok := durationUnits[s]
+	return ok
+}
+
+func (p *parser) counterDef() (CounterDef, error) {
+	var cd CounterDef
+	name := p.advance()
+	cd.Name = name.Text
+	cd.Line = name.Line
+	p.advance() // ':'
+	if _, err := p.expect(TokLParen, "'(' starting counter definition"); err != nil {
+		return cd, err
+	}
+	first, err := p.expect(TokIdent, "packet type or node name")
+	if err != nil {
+		return cd, err
+	}
+	if p.cur().Kind == TokRParen {
+		p.advance()
+		cd.IsLocal = true
+		cd.Node = first.Text
+		return cd, nil
+	}
+	cd.Filter = first.Text
+	if _, err := p.expect(TokComma, "',' in counter definition"); err != nil {
+		return cd, err
+	}
+	from, err := p.expect(TokIdent, "source node")
+	if err != nil {
+		return cd, err
+	}
+	cd.From = from.Text
+	if _, err := p.expect(TokComma, "',' in counter definition"); err != nil {
+		return cd, err
+	}
+	to, err := p.expect(TokIdent, "destination node")
+	if err != nil {
+		return cd, err
+	}
+	cd.To = to.Text
+	if _, err := p.expect(TokComma, "',' in counter definition"); err != nil {
+		return cd, err
+	}
+	dir, err := p.expect(TokIdent, "SEND or RECV")
+	if err != nil {
+		return cd, err
+	}
+	cd.Dir = dir.Text
+	if _, err := p.expect(TokRParen, "')' ending counter definition"); err != nil {
+		return cd, err
+	}
+	return cd, nil
+}
+
+// --- rules ---
+
+func (p *parser) rule() (RuleDef, error) {
+	var r RuleDef
+	r.Line = p.cur().Line
+	cond, err := p.orExpr()
+	if err != nil {
+		return r, err
+	}
+	r.Cond = cond
+	if _, err := p.expect(TokArrow, "'>>' between condition and actions"); err != nil {
+		return r, err
+	}
+	for {
+		a, err := p.action()
+		if err != nil {
+			return r, err
+		}
+		r.Actions = append(r.Actions, a)
+		if _, err := p.expect(TokSemi, "';' after action"); err != nil {
+			return r, err
+		}
+		t := p.cur()
+		// The action list ends where the next rule ('('), the next
+		// counter definition (IDENT ':'), or END begins.
+		if t.Kind == TokLParen || t.Kind == TokEOF {
+			return r, nil
+		}
+		if t.Kind == TokIdent && (t.Text == "END" || p.peek().Kind == TokColon) {
+			return r, nil
+		}
+	}
+}
+
+func (p *parser) orExpr() (*ExprNode, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokOr {
+		line := p.advance().Line
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprNode{Kind: ExprOr, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (*ExprNode, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == TokAnd {
+		line := p.advance().Line
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &ExprNode{Kind: ExprAnd, L: l, R: r, Line: line}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (*ExprNode, error) {
+	if p.cur().Kind == TokNot {
+		line := p.advance().Line
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ExprNode{Kind: ExprNot, L: e, Line: line}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (*ExprNode, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokLParen:
+		p.advance()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')' closing condition"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		if t.Text == "TRUE" {
+			p.advance()
+			return &ExprNode{Kind: ExprTrue, Line: t.Line}, nil
+		}
+		return p.term()
+	case TokInt:
+		return p.term()
+	}
+	return nil, errAt(t.Line, t.Col, "expected condition, found %s", t)
+}
+
+func (p *parser) term() (*ExprNode, error) {
+	lhs, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	opTok := p.cur()
+	var op string
+	switch opTok.Kind {
+	case TokLT:
+		op = "<"
+	case TokLE:
+		op = "<="
+	case TokGT:
+		op = ">"
+	case TokGE:
+		op = ">="
+	case TokEQ:
+		op = "="
+	case TokNE:
+		op = "!="
+	default:
+		return nil, errAt(opTok.Line, opTok.Col,
+			"expected relational operator in term, found %s", opTok)
+	}
+	p.advance()
+	rhs, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprNode{Kind: ExprTerm, LHS: lhs, Op: op, RHS: rhs, Line: opTok.Line}, nil
+}
+
+func (p *parser) operand() (OperandDef, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.advance()
+		return OperandDef{Name: t.Text}, nil
+	case TokInt:
+		p.advance()
+		return OperandDef{IsInt: true, Int: t.Int}, nil
+	}
+	return OperandDef{}, errAt(t.Line, t.Col, "expected counter name or integer, found %s", t)
+}
+
+// action parses NAME(args...) or NAME args... (both spellings appear in
+// the paper).
+func (p *parser) action() (ActionDef, error) {
+	var a ActionDef
+	name, err := p.expect(TokIdent, "action name")
+	if err != nil {
+		return a, err
+	}
+	a.Name = name.Text
+	a.Line = name.Line
+	if p.cur().Kind == TokLParen {
+		p.advance()
+		if p.cur().Kind == TokRParen {
+			p.advance()
+			return a, nil
+		}
+		for {
+			arg, err := p.actionArg()
+			if err != nil {
+				return a, err
+			}
+			a.Args = append(a.Args, arg)
+			if p.cur().Kind == TokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRParen, "')' closing action arguments"); err != nil {
+			return a, err
+		}
+		return a, nil
+	}
+	// Bare form: arguments up to the terminating ';'.
+	if p.cur().Kind == TokSemi {
+		return a, nil
+	}
+	for {
+		arg, err := p.actionArg()
+		if err != nil {
+			return a, err
+		}
+		a.Args = append(a.Args, arg)
+		if p.cur().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		return a, nil
+	}
+}
+
+func (p *parser) actionArg() (ArgDef, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.advance()
+		return ArgDef{Kind: ArgIdent, Name: t.Text, Line: t.Line}, nil
+	case TokInt:
+		p.advance()
+		return ArgDef{Kind: ArgInt, Int: t.Int, Text: t.Text, Line: t.Line}, nil
+	case TokDuration:
+		p.advance()
+		return ArgDef{Kind: ArgDuration, Dur: t.Dur, Line: t.Line}, nil
+	case TokLBracket:
+		p.advance()
+		var list []int64
+		for p.cur().Kind == TokInt {
+			list = append(list, p.advance().Int)
+			if p.cur().Kind == TokComma {
+				p.advance()
+			}
+		}
+		if _, err := p.expect(TokRBracket, "']' closing order list"); err != nil {
+			return ArgDef{}, err
+		}
+		return ArgDef{Kind: ArgList, List: list, Line: t.Line}, nil
+	}
+	return ArgDef{}, errAt(t.Line, t.Col, "unexpected action argument %s", t)
+}

@@ -1,0 +1,154 @@
+// Package gen implements the paper's stated long-term goal ("it will be
+// interesting to investigate the possibility of generating the fault
+// injection and packet trace analysis scripts directly from the protocol
+// specification", Section 8): systematic generation of FSL scenarios.
+//
+// Given a filter/node prologue and a target packet stream, Generate
+// emits one scenario per (fault kind, occurrence index) pair. Each
+// scenario injects exactly one fault into the Nth packet of the target
+// type and then *analyzes* recovery generically: the stream must deliver
+// ContinueCount further packets of the same type within the inactivity
+// timeout, at which point the scenario STOPs (pass); going quiet instead
+// means the implementation did not recover (fail). This turns the
+// paper's regression-testing workflow into a single loop over generated
+// scripts.
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"virtualwire/internal/fsl"
+)
+
+// FaultKind selects the injected fault.
+type FaultKind string
+
+// Supported generated faults.
+const (
+	Drop    FaultKind = "DROP"
+	Delay   FaultKind = "DELAY"
+	Dup     FaultKind = "DUP"
+	Modify  FaultKind = "MODIFY"
+	Reorder FaultKind = "REORDER"
+)
+
+// Config parametrizes generation.
+type Config struct {
+	// Prologue is the FILTER_TABLE and NODE_TABLE source shared by all
+	// scenarios.
+	Prologue string
+	// PacketType names the filter to target.
+	PacketType string
+	// From, To name the stream endpoints; Dir is "SEND" or "RECV".
+	From, To string
+	Dir      string
+	// Faults are the fault kinds to generate (default: all).
+	Faults []FaultKind
+	// Occurrences are the packet indices to hit (default: 1, 2, 10).
+	Occurrences []int
+	// ContinueCount is how many further target packets must flow after
+	// the fault for the scenario to pass (default 20).
+	ContinueCount int
+	// Timeout is the scenario inactivity timeout (default 5s).
+	Timeout time.Duration
+	// DelayDuration parametrizes DELAY faults (default 50 ms).
+	DelayDuration time.Duration
+	// ReorderWindow parametrizes REORDER faults (default 3).
+	ReorderWindow int
+}
+
+func (c *Config) fill() {
+	if len(c.Faults) == 0 {
+		c.Faults = []FaultKind{Drop, Delay, Dup, Modify, Reorder}
+	}
+	if len(c.Occurrences) == 0 {
+		c.Occurrences = []int{1, 2, 10}
+	}
+	if c.ContinueCount <= 0 {
+		c.ContinueCount = 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.DelayDuration <= 0 {
+		c.DelayDuration = 50 * time.Millisecond
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = 3
+	}
+}
+
+// Scenario is one generated test case.
+type Scenario struct {
+	// Name identifies the case, e.g. "drop_pkt2_of_TCP_data".
+	Name string
+	// Script is the complete FSL source (prologue + scenario).
+	Script string
+	// Fault and Occurrence record what the scenario injects.
+	Fault      FaultKind
+	Occurrence int
+}
+
+// Generate emits one compiled-and-validated scenario per (fault,
+// occurrence) pair.
+func Generate(cfg Config) ([]Scenario, error) {
+	cfg.fill()
+	if cfg.PacketType == "" || cfg.From == "" || cfg.To == "" {
+		return nil, fmt.Errorf("gen: PacketType, From and To are required")
+	}
+	if cfg.Dir != "SEND" && cfg.Dir != "RECV" {
+		return nil, fmt.Errorf("gen: Dir must be SEND or RECV, got %q", cfg.Dir)
+	}
+	var out []Scenario
+	for _, fault := range cfg.Faults {
+		for _, occ := range cfg.Occurrences {
+			sc, err := one(cfg, fault, occ)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}
+
+func one(cfg Config, fault FaultKind, occ int) (Scenario, error) {
+	name := fmt.Sprintf("%s_pkt%d_of_%s", strings.ToLower(string(fault)), occ, cfg.PacketType)
+	var b strings.Builder
+	b.WriteString(cfg.Prologue)
+	if !strings.HasSuffix(cfg.Prologue, "\n") {
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "SCENARIO %s %dms\n", name, cfg.Timeout/time.Millisecond)
+	fmt.Fprintf(&b, "TARGET: (%s, %s, %s, %s)\n", cfg.PacketType, cfg.From, cfg.To, cfg.Dir)
+	b.WriteString("(TRUE) >> ENABLE_CNTR( TARGET );\n")
+
+	args := fmt.Sprintf("%s, %s, %s, %s", cfg.PacketType, cfg.From, cfg.To, cfg.Dir)
+	var action string
+	switch fault {
+	case Drop:
+		action = fmt.Sprintf("DROP( %s )", args)
+	case Delay:
+		action = fmt.Sprintf("DELAY( %s, %dms )", args, cfg.DelayDuration/time.Millisecond)
+	case Dup:
+		action = fmt.Sprintf("DUP( %s )", args)
+	case Modify:
+		action = fmt.Sprintf("MODIFY( %s )", args)
+	case Reorder:
+		action = fmt.Sprintf("REORDER( %s, %d )", args, cfg.ReorderWindow)
+	default:
+		return Scenario{}, fmt.Errorf("gen: unknown fault kind %q", fault)
+	}
+	fmt.Fprintf(&b, "((TARGET = %d)) >> %s;\n", occ, action)
+	// Generic recovery analysis: the stream must keep flowing.
+	fmt.Fprintf(&b, "((TARGET = %d)) >> STOP;\n", occ+cfg.ContinueCount)
+	b.WriteString("END\n")
+
+	script := b.String()
+	if _, err := fsl.Compile(script); err != nil {
+		return Scenario{}, fmt.Errorf("gen: generated scenario %s does not compile: %w", name, err)
+	}
+	return Scenario{Name: name, Script: script, Fault: fault, Occurrence: occ}, nil
+}

@@ -1,0 +1,119 @@
+package gen_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"virtualwire"
+	"virtualwire/internal/gen"
+)
+
+const prologue = `
+FILTER_TABLE
+TCP_data: (34 2 0x6000), (36 2 0x4000), (47 1 0x10 0x10)
+END
+NODE_TABLE
+node1 00:00:00:00:00:01 10.0.0.1
+node2 00:00:00:00:00:02 10.0.0.2
+END
+`
+
+func TestGenerateEnumeratesFaultsAndOccurrences(t *testing.T) {
+	scs, err := gen.Generate(gen.Config{
+		Prologue:   prologue,
+		PacketType: "TCP_data",
+		From:       "node1", To: "node2", Dir: "RECV",
+		Faults:      []gen.FaultKind{gen.Drop, gen.Dup},
+		Occurrences: []int{1, 3, 7},
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(scs) != 6 {
+		t.Fatalf("scenarios = %d, want 6", len(scs))
+	}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		names[sc.Name] = true
+		if !strings.Contains(sc.Script, "SCENARIO") {
+			t.Errorf("%s: no scenario block", sc.Name)
+		}
+	}
+	if !names["drop_pkt3_of_TCP_data"] || !names["dup_pkt7_of_TCP_data"] {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	_, err := gen.Generate(gen.Config{Prologue: prologue, PacketType: "TCP_data"})
+	if err == nil {
+		t.Error("missing From/To accepted")
+	}
+	_, err = gen.Generate(gen.Config{
+		Prologue: prologue, PacketType: "ghost",
+		From: "node1", To: "node2", Dir: "RECV",
+	})
+	if err == nil {
+		t.Error("unknown packet type accepted (generated script must fail compile)")
+	}
+	_, err = gen.Generate(gen.Config{
+		Prologue: prologue, PacketType: "TCP_data",
+		From: "node1", To: "node2", Dir: "UP",
+	})
+	if err == nil {
+		t.Error("bad direction accepted")
+	}
+}
+
+// TestGeneratedSuiteAgainstTCP runs a generated regression suite for
+// every fault kind against the real TCP implementation — the workflow
+// the paper's conclusion proposes. A conforming TCP must pass every
+// generated case: recover from the fault and keep the stream moving.
+func TestGeneratedSuiteAgainstTCP(t *testing.T) {
+	scs, err := gen.Generate(gen.Config{
+		Prologue:   prologue,
+		PacketType: "TCP_data",
+		From:       "node1", To: "node2", Dir: "RECV",
+		Occurrences:   []int{3},
+		ContinueCount: 15,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(scs) != 5 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tb, err := virtualwire.New(virtualwire.Config{Seed: 11})
+			if err != nil {
+				t.Fatalf("new: %v", err)
+			}
+			if err := tb.AddNodesFromScript(sc.Script); err != nil {
+				t.Fatalf("nodes: %v", err)
+			}
+			if err := tb.LoadScript(sc.Script); err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if _, err := tb.AddTCPBulk(virtualwire.TCPBulkConfig{
+				From: "node1", To: "node2",
+				SrcPort: 0x6000, DstPort: 0x4000,
+				Bytes: 256 * 1024,
+			}); err != nil {
+				t.Fatalf("bulk: %v", err)
+			}
+			rep, err := tb.Run(2 * time.Minute)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !rep.Passed {
+				t.Errorf("TCP failed generated case: %+v", rep.Result)
+			}
+			if !rep.Result.Stopped {
+				t.Errorf("stream did not recover within the timeout: %+v", rep.Result)
+			}
+		})
+	}
+}

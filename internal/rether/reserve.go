@@ -1,0 +1,150 @@
+package rether
+
+import (
+	"encoding/binary"
+
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+)
+
+// Real-time bandwidth reservation (admission control). Rether's RT mode
+// guarantees per-cycle transmission slots to admitted streams; the ring
+// monitor (the first node of the initial ring order) accounts for the
+// shared budget and grants or denies requests. Messages ride the 0x9900
+// control plane: RetherReserve carries the requested slot count,
+// RetherReserveOK the granted count (0 = denied).
+//
+// A granted reservation raises the node's per-visit RT quota, so frames
+// matched by the RT classifier get that much guaranteed service each
+// token cycle.
+
+// ReserveResult reports the outcome of a reservation request.
+type ReserveResult struct {
+	Granted bool
+	Slots   int
+}
+
+// reservePayload encodes the slot count in the control frame payload.
+func reservePayload(slots int) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, uint32(slots))
+	return b
+}
+
+func decodeReservePayload(b []byte) (int, bool) {
+	if len(b) < 4 {
+		return 0, false
+	}
+	return int(binary.BigEndian.Uint32(b)), true
+}
+
+// RequestReservation asks the ring monitor for slots real-time
+// transmission slots per token cycle. cb fires with the outcome; if the
+// monitor does not answer within three token-ack timeouts the request
+// fails locally. A node may re-request to grow or shrink (slots = 0
+// releases) its reservation.
+func (l *Layer) RequestReservation(slots int, cb func(ReserveResult)) {
+	if slots < 0 {
+		slots = 0
+	}
+	monitor, ok := l.monitorMAC()
+	if !ok {
+		if cb != nil {
+			cb(ReserveResult{})
+		}
+		return
+	}
+	if monitor == l.self {
+		res := l.grantReservation(l.self, slots)
+		l.applyGrant(res)
+		if cb != nil {
+			cb(res)
+		}
+		return
+	}
+	l.Stats.ReservationsRequested++
+	l.reserveCb = cb
+	l.sendCtl(monitor, packet.RetherReserve, uint32(slots), reservePayload(slots))
+	if l.reserveTimer == nil {
+		l.reserveTimer = sim.NewTimer(l.sched, "rether.reserve")
+	}
+	l.reserveTimer.Arm(3*l.cfg.TokenAckTimeout, func() {
+		cb := l.reserveCb
+		l.reserveCb = nil
+		if cb != nil {
+			cb(ReserveResult{})
+		}
+	})
+}
+
+// RTSlots reports the node's currently granted per-cycle RT quota.
+func (l *Layer) RTSlots() int { return l.cfg.RTQuota }
+
+// monitorMAC returns the current ring monitor (lowest surviving index of
+// the ring).
+func (l *Layer) monitorMAC() (packet.MAC, bool) {
+	if len(l.ring) == 0 {
+		return packet.MAC{}, false
+	}
+	return l.ring[0], true
+}
+
+// grantReservation runs on the monitor: admit if the ring-wide budget
+// allows.
+func (l *Layer) grantReservation(node packet.MAC, slots int) ReserveResult {
+	if l.grants == nil {
+		l.grants = make(map[packet.MAC]int)
+	}
+	total := 0
+	for m, s := range l.grants {
+		if m != node {
+			total += s
+		}
+	}
+	if total+slots > l.cfg.RTBudget {
+		l.Stats.ReservationsDenied++
+		return ReserveResult{Granted: false, Slots: 0}
+	}
+	l.grants[node] = slots
+	l.Stats.ReservationsGranted++
+	return ReserveResult{Granted: true, Slots: slots}
+}
+
+// applyGrant installs a granted quota locally.
+func (l *Layer) applyGrant(res ReserveResult) {
+	if res.Granted {
+		l.cfg.RTQuota = res.Slots
+	}
+}
+
+// handleReserve processes a RESERVE request at the monitor.
+func (l *Layer) handleReserve(from packet.MAC, payload []byte) {
+	slots, ok := decodeReservePayload(payload)
+	if !ok {
+		return
+	}
+	res := l.grantReservation(from, slots)
+	granted := uint32(0)
+	if res.Granted {
+		granted = 1
+	}
+	l.sendCtl(from, packet.RetherReserveOK, granted, reservePayload(res.Slots))
+}
+
+// handleReserveOK processes the monitor's answer at the requester.
+func (l *Layer) handleReserveOK(seq uint32, payload []byte) {
+	slots, ok := decodeReservePayload(payload)
+	if !ok {
+		return
+	}
+	res := ReserveResult{Granted: seq == 1, Slots: slots}
+	l.applyGrant(res)
+	if l.reserveTimer != nil {
+		l.reserveTimer.Disarm()
+	}
+	cb := l.reserveCb
+	l.reserveCb = nil
+	if cb != nil {
+		cb(res)
+	}
+}

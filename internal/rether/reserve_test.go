@@ -1,0 +1,145 @@
+package rether
+
+import (
+	"testing"
+	"time"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+)
+
+func TestReservationGrantedWithinBudget(t *testing.T) {
+	s, nodes := buildRing(t, 21, 4, Config{RTBudget: 10})
+	var res ReserveResult
+	nodes[2].rether.RequestReservation(6, func(r ReserveResult) { res = r })
+	if err := s.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Granted || res.Slots != 6 {
+		t.Fatalf("result = %+v, want grant of 6", res)
+	}
+	if nodes[2].rether.RTSlots() != 6 {
+		t.Errorf("RTSlots = %d after grant", nodes[2].rether.RTSlots())
+	}
+	if nodes[0].rether.Stats.ReservationsGranted != 1 {
+		t.Errorf("monitor granted = %d", nodes[0].rether.Stats.ReservationsGranted)
+	}
+}
+
+func TestReservationDeniedBeyondBudget(t *testing.T) {
+	s, nodes := buildRing(t, 22, 4, Config{RTBudget: 10, RTQuota: 1})
+	var r2, r3 ReserveResult
+	nodes[1].rether.RequestReservation(8, func(r ReserveResult) { r2 = r })
+	if err := s.RunUntil(50 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	nodes[2].rether.RequestReservation(8, func(r ReserveResult) { r3 = r })
+	if err := s.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !r2.Granted {
+		t.Fatalf("first request should fit: %+v", r2)
+	}
+	if r3.Granted {
+		t.Fatalf("second request should exceed the budget: %+v", r3)
+	}
+	if got := nodes[2].rether.RTSlots(); got != 1 {
+		t.Errorf("denied request changed the quota to %d", got)
+	}
+	if nodes[0].rether.Stats.ReservationsDenied != 1 {
+		t.Errorf("monitor denied = %d", nodes[0].rether.Stats.ReservationsDenied)
+	}
+}
+
+func TestReservationMonitorGrantsItselfLocally(t *testing.T) {
+	s, nodes := buildRing(t, 23, 3, Config{RTBudget: 10})
+	var res ReserveResult
+	called := false
+	nodes[0].rether.RequestReservation(4, func(r ReserveResult) { called = true; res = r })
+	// Local grant resolves synchronously, before any simulation step.
+	if !called || !res.Granted || res.Slots != 4 {
+		t.Fatalf("local grant: called=%v res=%+v", called, res)
+	}
+	if err := s.RunUntil(10 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if nodes[0].rether.RTSlots() != 4 {
+		t.Errorf("RTSlots = %d", nodes[0].rether.RTSlots())
+	}
+}
+
+func TestReservationResize(t *testing.T) {
+	s, nodes := buildRing(t, 24, 3, Config{RTBudget: 10})
+	done := 0
+	nodes[1].rether.RequestReservation(8, func(ReserveResult) { done++ })
+	if err := s.RunUntil(50 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Shrinking frees budget for another node.
+	nodes[1].rether.RequestReservation(2, func(ReserveResult) { done++ })
+	if err := s.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res ReserveResult
+	nodes[2].rether.RequestReservation(8, func(r ReserveResult) { done++; res = r })
+	if err := s.RunUntil(150 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if done != 3 {
+		t.Fatalf("callbacks = %d", done)
+	}
+	if !res.Granted {
+		t.Errorf("8 slots should fit after the shrink to 2: %+v", res)
+	}
+}
+
+func TestReservationTimeoutWithDeadMonitor(t *testing.T) {
+	s, nodes := buildRing(t, 25, 3, Config{RTBudget: 10})
+	// Kill the monitor's wire before the request.
+	nodes[0].kill.dead = true
+	var called bool
+	var res ReserveResult
+	nodes[1].rether.RequestReservation(4, func(r ReserveResult) { called = true; res = r })
+	if err := s.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !called {
+		t.Fatal("request never resolved")
+	}
+	if res.Granted {
+		t.Errorf("granted by a dead monitor: %+v", res)
+	}
+}
+
+func TestReservationRaisesServiceRate(t *testing.T) {
+	// White-box: a granted reservation raises the per-visit RT service.
+	s := sim.NewScheduler(26)
+	self := packet.MAC{0, 0, 0, 0, 0, 1}
+	l := New(s, self, Config{Ring: []packet.MAC{self}, RTQuota: 1, BEQuota: 0x0})
+	sent := 0
+	l.SetBelow(downFunc(func(fr *ether.Frame) {
+		if fr.EtherType() == packet.EtherTypeIPv4 {
+			sent++
+		}
+	}))
+	l.started = true
+	l.ClassifyRT = func(*ether.Frame) bool { return true }
+	mk := func() *ether.Frame {
+		d := make([]byte, packet.EthHeaderLen)
+		packet.PutEth(d, packet.Eth{Dst: self, Src: self, Type: packet.EtherTypeIPv4})
+		return &ether.Frame{Data: d}
+	}
+	for i := 0; i < 8; i++ {
+		l.SendDown(mk())
+	}
+	l.serveQueues()
+	if sent != 1 {
+		t.Fatalf("served %d with quota 1", sent)
+	}
+	l.applyGrant(ReserveResult{Granted: true, Slots: 4})
+	l.serveQueues()
+	if sent != 5 {
+		t.Fatalf("served %d total after grant of 4", sent)
+	}
+}

@@ -1,0 +1,368 @@
+// Package rll implements the paper's Reliable Link Layer (Section 3.3):
+// a sliding-window protocol inserted below the VirtualWire engines that
+// "guarantees reliable delivery of packets handed over to it" so that
+// MAC-layer bit errors can never cause a packet loss the fault injection
+// engine is unaware of. Without it, a random FCS-failed frame would look
+// exactly like an injected DROP and the test environment would no longer
+// be controlled.
+//
+// Wire format: the original frame is encapsulated in an outer Ethernet
+// frame with ethertype 0x88B6. Because the RLL is host-to-host, the
+// inner frame's MAC addresses equal the outer ones and are not repeated;
+// only the bytes from the inner ethertype onward are carried:
+//
+//	offset 14: type   (1 byte: 1=data, 2=ack, 3=unreliable data)
+//	offset 15: seq    (4 bytes)
+//	offset 19: ack    (4 bytes, cumulative, piggybacked)
+//	offset 23: crc32  (4 bytes, IEEE, over the type/seq/ack fields plus
+//	                   the carried inner bytes, so header corruption is
+//	                   detected too)
+//	offset 27: inner frame from its ethertype onward
+//
+// The receiver reconstructs the inner frame from the outer addresses.
+//
+// Per-peer go-back-N: the receiver only accepts the next in-sequence
+// frame and acknowledges cumulatively; the sender retransmits everything
+// unacknowledged on timeout. Broadcast frames are sent unreliably (there
+// is no per-peer stream to sequence them on), which matches their use for
+// advisory Rether ring announcements.
+package rll
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"time"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+	"virtualwire/internal/stack"
+)
+
+// EtherType is the outer ethertype of RLL frames.
+const EtherType uint16 = 0x88B6
+
+// Frame type codes.
+const (
+	typeData       = 1
+	typeAck        = 2
+	typeUnreliable = 3
+)
+
+const headerLen = 13 // type + seq + ack + crc32, after the outer Ethernet header
+
+// Config parametrizes an RLL instance.
+type Config struct {
+	// Window is the go-back-N send window in frames (default 32 — a
+	// 100 Mbps LAN path holds only a few full-size frames, but queueing
+	// under load inflates the link RTT well past the serialization
+	// delay and a tight window would throttle throughput).
+	Window int
+	// RTO is the base retransmission timeout (default 5 ms — enough to
+	// serialize a full default window plus the ack on a loaded 100 Mbps
+	// segment). Successive timeouts back off exponentially up to 16x.
+	RTO time.Duration
+	// MaxRetries bounds retransmissions of the window head before the
+	// peer is declared unreachable and the frame dropped (default 10).
+	MaxRetries int
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.RTO <= 0 {
+		c.RTO = 5 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+}
+
+// Stats counts RLL events.
+type Stats struct {
+	DataSent      uint64
+	DataRetrans   uint64
+	AcksSent      uint64
+	Delivered     uint64
+	Duplicates    uint64 // received but already delivered (retransmit overlap)
+	OutOfOrder    uint64 // dropped by go-back-N
+	CRCDrops      uint64 // inner CRC mismatch
+	GaveUp        uint64 // frames dropped after MaxRetries
+	Unreliable    uint64 // broadcast/unreliable frames sent
+	BlockedQueued uint64 // frames queued because the window was full
+}
+
+type peerSend struct {
+	nextSeq  uint32
+	base     uint32
+	inflight []*ether.Frame // encapsulated frames, base..nextSeq-1
+	backlog  []*ether.Frame // encapsulated frames waiting for window space
+	timer    *sim.Timer
+	retries  int
+	rto      time.Duration
+}
+
+type peerRecv struct {
+	expected uint32
+}
+
+// RLL is the reliable link layer for one host. It implements
+// stack.Layer.
+type RLL struct {
+	base  stack.Base
+	cfg   Config
+	sched *sim.Scheduler
+	mac   packet.MAC
+	send  map[packet.MAC]*peerSend
+	recv  map[packet.MAC]*peerRecv
+
+	// Stats accumulates protocol counters.
+	Stats Stats
+	// Disabled short-circuits the layer (frames pass through
+	// untouched). The Figure 8 experiment toggles this.
+	Disabled bool
+}
+
+var _ stack.Layer = (*RLL)(nil)
+
+// New returns an RLL layer for the host with the given MAC.
+func New(sched *sim.Scheduler, mac packet.MAC, cfg Config) *RLL {
+	cfg.fill()
+	return &RLL{
+		cfg:   cfg,
+		sched: sched,
+		mac:   mac,
+		send:  make(map[packet.MAC]*peerSend),
+		recv:  make(map[packet.MAC]*peerRecv),
+	}
+}
+
+// SetBelow implements stack.Layer.
+func (r *RLL) SetBelow(d stack.Down) { r.base.SetBelow(d) }
+
+// SetAbove implements stack.Layer.
+func (r *RLL) SetAbove(u stack.Up) { r.base.SetAbove(u) }
+
+// SendDown implements stack.Layer: encapsulate and transmit reliably.
+func (r *RLL) SendDown(fr *ether.Frame) {
+	if r.Disabled || len(fr.Data) < packet.EthHeaderLen {
+		r.base.PassDown(fr)
+		return
+	}
+	dst := fr.Dst()
+	if dst.IsBroadcast() {
+		r.Stats.Unreliable++
+		r.base.PassDown(r.encap(fr, typeUnreliable, 0, 0))
+		return
+	}
+	ps := r.sendState(dst)
+	enc := r.encap(fr, typeData, ps.nextSeq, 0)
+	ps.nextSeq++
+	if len(ps.inflight) >= r.cfg.Window {
+		r.Stats.BlockedQueued++
+		ps.backlog = append(ps.backlog, enc)
+		return
+	}
+	ps.inflight = append(ps.inflight, enc)
+	r.transmit(enc)
+	r.Stats.DataSent++
+	if !ps.timer.Armed() {
+		r.armTimer(dst, ps)
+	}
+}
+
+// DeliverUp implements stack.Layer: decapsulate, validate, acknowledge.
+func (r *RLL) DeliverUp(fr *ether.Frame) {
+	if r.Disabled {
+		r.base.PassUp(fr)
+		return
+	}
+	if fr.EtherType() != EtherType {
+		if fr.Corrupt {
+			// A damaged frame whose bytes cannot be trusted at all
+			// (possibly an RLL frame with a mangled ethertype).
+			r.Stats.CRCDrops++
+			return
+		}
+		// Not RLL traffic (mixed testbed); deliver as-is.
+		r.base.PassUp(fr)
+		return
+	}
+	if len(fr.Data) < packet.EthHeaderLen+headerLen {
+		return
+	}
+	hdr := fr.Data[packet.EthHeaderLen:]
+	typ := hdr[0]
+	seq := binary.BigEndian.Uint32(hdr[1:])
+	ack := binary.BigEndian.Uint32(hdr[5:])
+	crc := binary.BigEndian.Uint32(hdr[9:])
+	inner := fr.Data[packet.EthHeaderLen+headerLen:]
+	src := fr.Src()
+	if frameCRC(hdr[:9], inner) != crc {
+		// Damaged on the wire — header or payload. Do not ack; the
+		// sender's window retransmits. This is the exact loss the RLL
+		// exists to mask.
+		r.Stats.CRCDrops++
+		return
+	}
+
+	switch typ {
+	case typeAck:
+		r.handleAck(src, ack)
+	case typeUnreliable:
+		r.deliverInner(fr, inner)
+	case typeData:
+		pr := r.recvState(src)
+		switch {
+		case seq == pr.expected:
+			pr.expected++
+			r.Stats.Delivered++
+			r.sendAck(src, pr.expected)
+			r.deliverInner(fr, inner)
+		case seq < pr.expected:
+			// Duplicate of something already delivered: re-ack so the
+			// sender can advance.
+			r.Stats.Duplicates++
+			r.sendAck(src, pr.expected)
+		default:
+			// Gap: go-back-N discards and re-acks the last good.
+			r.Stats.OutOfOrder++
+			r.sendAck(src, pr.expected)
+		}
+	}
+}
+
+// deliverInner reconstructs the inner frame (outer addresses + carried
+// bytes) and passes it up.
+func (r *RLL) deliverInner(outer *ether.Frame, inner []byte) {
+	data := make([]byte, 12+len(inner))
+	copy(data, outer.Data[0:12]) // dst + src are shared with the outer frame
+	copy(data[12:], inner)
+	r.base.PassUp(&ether.Frame{Data: data, ID: outer.ID})
+}
+
+func (r *RLL) handleAck(peer packet.MAC, ack uint32) {
+	ps := r.sendState(peer)
+	if ack <= ps.base {
+		return
+	}
+	advanced := ack - ps.base
+	if int(advanced) > len(ps.inflight) {
+		advanced = uint32(len(ps.inflight))
+	}
+	ps.inflight = ps.inflight[advanced:]
+	ps.base += advanced
+	ps.retries = 0
+	ps.rto = r.cfg.RTO // progress: reset the backoff
+	r.fillWindow(ps)
+	if len(ps.inflight) == 0 {
+		ps.timer.Disarm()
+		return
+	}
+	r.armTimer(peer, ps)
+}
+
+func (r *RLL) armTimer(peer packet.MAC, ps *peerSend) {
+	if ps.rto <= 0 {
+		ps.rto = r.cfg.RTO
+	}
+	ps.timer.Arm(ps.rto, func() { r.timeout(peer, ps) })
+}
+
+// timeout retransmits the whole window (go-back-N).
+func (r *RLL) timeout(peer packet.MAC, ps *peerSend) {
+	if len(ps.inflight) == 0 {
+		return
+	}
+	ps.retries++
+	if ps.retries > r.cfg.MaxRetries {
+		// Peer unreachable (crashed node). Drop the window head and
+		// keep trying with the rest: a FAIL-ed node must not wedge the
+		// sender forever.
+		r.Stats.GaveUp++
+		ps.inflight = ps.inflight[1:]
+		ps.base++
+		ps.retries = 0
+		r.fillWindow(ps)
+		if len(ps.inflight) == 0 {
+			return
+		}
+	}
+	for _, enc := range ps.inflight {
+		r.transmit(enc.Clone())
+		r.Stats.DataRetrans++
+	}
+	// Exponential backoff: a retransmission that was itself premature
+	// must not turn into a storm under load.
+	ps.rto *= 2
+	if max := 16 * r.cfg.RTO; ps.rto > max {
+		ps.rto = max
+	}
+	r.armTimer(peer, ps)
+}
+
+// fillWindow admits backlog frames into freed window slots.
+func (r *RLL) fillWindow(ps *peerSend) {
+	for len(ps.backlog) > 0 && len(ps.inflight) < r.cfg.Window {
+		enc := ps.backlog[0]
+		ps.backlog = ps.backlog[1:]
+		ps.inflight = append(ps.inflight, enc)
+		r.transmit(enc)
+		r.Stats.DataSent++
+	}
+}
+
+func (r *RLL) sendAck(peer packet.MAC, ack uint32) {
+	b := make([]byte, packet.EthHeaderLen+headerLen)
+	packet.PutEth(b, packet.Eth{Dst: peer, Src: r.mac, Type: EtherType})
+	hdr := b[packet.EthHeaderLen:]
+	hdr[0] = typeAck
+	binary.BigEndian.PutUint32(hdr[5:], ack)
+	binary.BigEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], nil))
+	r.Stats.AcksSent++
+	r.base.PassDown(&ether.Frame{Data: b})
+}
+
+// frameCRC covers the RLL header fields and the carried inner bytes.
+func frameCRC(hdr, inner []byte) uint32 {
+	crc := crc32.Update(0, crc32.IEEETable, hdr)
+	return crc32.Update(crc, crc32.IEEETable, inner)
+}
+
+func (r *RLL) transmit(enc *ether.Frame) {
+	// Always hand the medium its own copy: a retransmission must not
+	// race with a queued original.
+	r.base.PassDown(enc.Clone())
+}
+
+func (r *RLL) encap(fr *ether.Frame, typ byte, seq, ack uint32) *ether.Frame {
+	inner := fr.Data[12:] // from the inner ethertype onward
+	b := make([]byte, packet.EthHeaderLen+headerLen+len(inner))
+	packet.PutEth(b, packet.Eth{Dst: fr.Dst(), Src: r.mac, Type: EtherType})
+	hdr := b[packet.EthHeaderLen:]
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], seq)
+	binary.BigEndian.PutUint32(hdr[5:], ack)
+	binary.BigEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], inner))
+	copy(b[packet.EthHeaderLen+headerLen:], inner)
+	return &ether.Frame{Data: b, ID: fr.ID}
+}
+
+func (r *RLL) sendState(peer packet.MAC) *peerSend {
+	ps, ok := r.send[peer]
+	if !ok {
+		ps = &peerSend{timer: sim.NewTimer(r.sched, "rll.rto"), rto: r.cfg.RTO}
+		r.send[peer] = ps
+	}
+	return ps
+}
+
+func (r *RLL) recvState(peer packet.MAC) *peerRecv {
+	pr, ok := r.recv[peer]
+	if !ok {
+		pr = &peerRecv{}
+		r.recv[peer] = pr
+	}
+	return pr
+}

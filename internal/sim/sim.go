@@ -1,0 +1,261 @@
+// Package sim implements the discrete-event simulation core that every
+// other subsystem in this repository runs on.
+//
+// The paper evaluates VirtualWire on a real two-to-four node Pentium-4
+// testbed; this reproduction substitutes a deterministic virtual-time
+// simulator (see DESIGN.md, "Substitutions"). All protocol code — the
+// Ethernet media, the Reliable Link Layer, TCP, Rether and the
+// VirtualWire engines themselves — is written against the Scheduler
+// defined here, so an entire multi-node experiment executes in a single
+// goroutine with reproducible event ordering.
+//
+// Events scheduled for the same instant fire in scheduling order
+// (a strictly increasing sequence number breaks ties), which keeps runs
+// bit-for-bit reproducible for a given RNG seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("simulation stopped")
+
+// Event is a scheduled callback. It is returned by At/After so callers can
+// cancel it before it fires (for example, a retransmission timer that is
+// disarmed by an ACK).
+type Event struct {
+	Name string
+
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once removed
+	cancelled bool
+}
+
+// Time reports the virtual instant the event is scheduled for.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a single-threaded discrete-event scheduler with a virtual
+// clock. The zero value is not usable; construct with NewScheduler.
+//
+// Scheduler is not safe for concurrent use: all simulated components run
+// inside event callbacks on the same goroutine, which is the whole point.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	running bool
+
+	// executed counts events that have fired, for diagnostics and to
+	// guard against runaway simulations in tests.
+	executed uint64
+	// Limit, when non-zero, aborts Run with an error after that many
+	// events. It exists so a buggy protocol cannot spin a test forever.
+	Limit uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and whose
+// random source is seeded with seed. Two schedulers constructed with the
+// same seed and fed the same scheduling calls produce identical runs.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time, measured from simulation start.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic random source. Components
+// must draw all randomness (backoff jitter, bit errors, byte perturbation)
+// from this source to stay reproducible.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed reports how many events have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are scheduled and not yet fired
+// (including cancelled events that have not been reaped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) is a programming error and fires immediately at Now
+// instead, preserving the clock's monotonicity.
+func (s *Scheduler) At(t time.Duration, name string, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	ev := &Event{Name: name, at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d from now. A negative d behaves like zero.
+func (s *Scheduler) After(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step fires the single earliest pending event and advances the clock.
+// It reports false when the queue is empty. Cancelled events are skipped
+// silently but still advance nothing.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// event Limit is exceeded. It returns nil on a drained queue, ErrStopped
+// if stopped, and a descriptive error if the limit tripped.
+func (s *Scheduler) Run() error {
+	return s.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= horizon (a negative horizon
+// means "no horizon"). When the horizon is reached the clock is advanced
+// to it so a subsequent RunUntil continues from there.
+func (s *Scheduler) RunUntil(horizon time.Duration) error {
+	if s.running {
+		return errors.New("scheduler re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.Limit > 0 && s.executed >= s.Limit {
+			return fmt.Errorf("event limit %d exceeded at t=%v", s.Limit, s.now)
+		}
+		next := s.peek()
+		if next == nil {
+			// Idle: time still passes up to the horizon, so a
+			// subsequent RunUntil continues from there.
+			if horizon >= 0 && horizon > s.now {
+				s.now = horizon
+			}
+			return nil
+		}
+		if horizon >= 0 && next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.Step()
+	}
+}
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		if !s.queue[0].cancelled {
+			return s.queue[0]
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Timer is a restartable one-shot timer, the moral equivalent of the
+// kernel software timers the paper's DELAY primitive is built on. The
+// zero value is ready to use after SetScheduler (or construct via
+// NewTimer).
+type Timer struct {
+	sched *Scheduler
+	ev    *Event
+	name  string
+}
+
+// NewTimer returns a timer bound to s. The name labels scheduled events
+// for diagnostics.
+func NewTimer(s *Scheduler, name string) *Timer {
+	return &Timer{sched: s, name: name}
+}
+
+// Arm (re)schedules fn to fire after d, cancelling any previous schedule.
+func (t *Timer) Arm(d time.Duration, fn func()) {
+	t.Disarm()
+	t.ev = t.sched.After(d, t.name, fn)
+}
+
+// Disarm cancels the pending firing, if any.
+func (t *Timer) Disarm() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending firing.
+func (t *Timer) Armed() bool {
+	return t.ev != nil && !t.ev.Cancelled() && t.ev.index >= 0
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.After(30*time.Millisecond, "c", func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, "a", func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, "b", func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, "tie", func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	ev := s.After(time.Millisecond, "x", func() { fired = true })
+	ev.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestSchedulerPastSchedulingClamped(t *testing.T) {
+	s := NewScheduler(1)
+	var at time.Duration = -1
+	s.After(10*time.Millisecond, "setup", func() {
+		// Attempt to schedule in the past; must fire at Now, not before.
+		s.At(time.Millisecond, "past", func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 10*time.Millisecond {
+		t.Errorf("past event fired at %v, want clamp to 10ms", at)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(1)
+	n := 0
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.After(d, "tick", func() {
+			n++
+			if n == 2 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(); err != ErrStopped {
+		t.Fatalf("Run() = %v, want ErrStopped", err)
+	}
+	if n != 2 {
+		t.Errorf("executed %d events after stop, want 2", n)
+	}
+}
+
+func TestSchedulerRunUntilHorizon(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	for i := 1; i <= 4; i++ {
+		d := time.Duration(i*10) * time.Millisecond
+		s.After(d, "tick", func() { fired = append(fired, s.Now()) })
+	}
+	if err := s.RunUntil(25 * time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before horizon, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Errorf("clock = %v after horizon, want 25ms", s.Now())
+	}
+	// Continue past the horizon.
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(fired) != 4 {
+		t.Errorf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestSchedulerEventLimit(t *testing.T) {
+	s := NewScheduler(1)
+	s.Limit = 10
+	var tick func()
+	tick = func() { s.After(time.Millisecond, "tick", tick) }
+	s.After(time.Millisecond, "tick", tick)
+	if err := s.Run(); err == nil {
+		t.Fatal("infinite event chain did not trip the limit")
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		s := NewScheduler(seed)
+		var out []time.Duration
+		var step func()
+		remaining := 100
+		step = func() {
+			out = append(out, s.Now())
+			remaining--
+			if remaining > 0 {
+				jitter := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				s.After(jitter, "step", step)
+			}
+		}
+		s.After(0, "step", step)
+		if err := s.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimerRearmAndDisarm(t *testing.T) {
+	s := NewScheduler(1)
+	tm := NewTimer(s, "rto")
+	count := 0
+	tm.Arm(10*time.Millisecond, func() { count++ })
+	tm.Arm(20*time.Millisecond, func() { count += 10 }) // replaces the first
+	if !tm.Armed() {
+		t.Error("timer not armed after Arm")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if count != 10 {
+		t.Errorf("count = %d, want 10 (only the re-armed firing)", count)
+	}
+
+	tm.Arm(5*time.Millisecond, func() { count++ })
+	tm.Disarm()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if count != 10 {
+		t.Errorf("disarmed timer fired; count = %d", count)
+	}
+}
+
+// Property: for any set of (delay, id) pairs, events fire in
+// nondecreasing-time order and ties fire in scheduling order.
+func TestSchedulerOrderingProperty(t *testing.T) {
+	prop := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		s := NewScheduler(7)
+		type firing struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []firing
+		for i, d := range delaysRaw {
+			i := i
+			dd := time.Duration(d%64) * time.Millisecond // force ties
+			s.After(dd, "p", func() {
+				fired = append(fired, firing{s.Now(), i})
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RunUntil(h) never executes an event with timestamp > h and
+// always leaves the clock at exactly h when events remain beyond it.
+func TestRunUntilHorizonProperty(t *testing.T) {
+	prop := func(delaysRaw []uint16, horizonRaw uint16) bool {
+		s := NewScheduler(3)
+		h := time.Duration(horizonRaw%100) * time.Millisecond
+		late := 0
+		for _, d := range delaysRaw {
+			dd := time.Duration(d%200) * time.Millisecond
+			s.After(dd, "p", func() {
+				if s.Now() > h {
+					late++
+				}
+			})
+		}
+		if err := s.RunUntil(h); err != nil {
+			return false
+		}
+		return late == 0 && s.Now() <= h
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, "tick", tick)
+		}
+	}
+	b.ResetTimer()
+	s.After(0, "tick", tick)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

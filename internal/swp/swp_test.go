@@ -1,0 +1,257 @@
+package swp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"virtualwire/internal/core"
+	"virtualwire/internal/ether"
+	"virtualwire/internal/fsl"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+	"virtualwire/internal/stack"
+	"virtualwire/internal/swp"
+)
+
+// rig: two hosts over a clean switch, each with a VirtualWire engine.
+type rig struct {
+	sched   *sim.Scheduler
+	h1, h2  *stack.Host
+	engines []*core.Engine
+	ctl     *core.Controller
+}
+
+func newRig(t testing.TB, seed int64, script string) *rig {
+	t.Helper()
+	s := sim.NewScheduler(seed)
+	sw := ether.NewSwitch(s, ether.SwitchConfig{})
+	h1 := stack.NewHost(s, "node1", packet.MAC{0, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1})
+	h2 := stack.NewHost(s, "node2", packet.MAC{0, 0, 0, 0, 0, 2}, packet.IP{10, 0, 0, 2})
+	for _, h := range []*stack.Host{h1, h2} {
+		h.Neighbors[h1.IP] = h1.MAC
+		h.Neighbors[h2.IP] = h2.MAC
+	}
+	sw.AttachHost(h1.NIC)
+	sw.AttachHost(h2.NIC)
+	e1 := core.NewEngine(s, h1.MAC)
+	e2 := core.NewEngine(s, h2.MAC)
+	h1.Build(e1)
+	h2.Build(e2)
+	r := &rig{sched: s, h1: h1, h2: h2, engines: []*core.Engine{e1, e2}}
+	if script != "" {
+		prog, err := fsl.Compile(script)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		ctl, err := core.NewController(s, prog, e1, 0)
+		if err != nil {
+			t.Fatalf("controller: %v", err)
+		}
+		r.ctl = ctl
+		if err := ctl.Launch(); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		for !ctl.Result().Started && s.Step() {
+		}
+		if err := s.RunUntil(s.Now() + 5*time.Millisecond); err != nil {
+			t.Fatalf("settle: %v", err)
+		}
+	}
+	return r
+}
+
+func blob(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 13)
+	}
+	return b
+}
+
+func TestCleanTransfer(t *testing.T) {
+	r := newRig(t, 1, "")
+	data := blob(10 * 1024)
+	rx, err := swp.NewReceiver(r.h2, 9100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Start()
+	if err := r.sched.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tx.Done() || !rx.Complete() {
+		t.Fatalf("transfer incomplete: tx=%v rx=%v", tx.Done(), rx.Complete())
+	}
+	if !bytes.Equal(rx.Data(), data) {
+		t.Fatal("data corrupted")
+	}
+	if tx.Stats.Retransmissions != 0 {
+		t.Errorf("retransmissions on a clean wire: %d", tx.Stats.Retransmissions)
+	}
+	if tx.Stats.ChunksSent != 20 {
+		t.Errorf("chunks = %d, want 20", tx.Stats.ChunksSent)
+	}
+}
+
+func TestEmptyAndOddSizedTransfers(t *testing.T) {
+	for _, n := range []int{1, 511, 512, 513, 5000} {
+		r := newRig(t, int64(n), "")
+		data := blob(n)
+		rx, _ := swp.NewReceiver(r.h2, 9100)
+		tx, _ := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{})
+		tx.Start()
+		if err := r.sched.RunUntil(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !rx.Complete() || !bytes.Equal(rx.Data(), data) {
+			t.Errorf("n=%d: transfer broken", n)
+		}
+	}
+}
+
+// swpScript builds a scenario over the stop-and-wait protocol's own wire
+// format — a protocol the FSL has never heard of.
+func swpScript(rule string) string {
+	return fmt.Sprintf(`
+FILTER_TABLE
+swp_data: %s
+END
+NODE_TABLE
+node1 00:00:00:00:00:01 10.0.0.1
+node2 00:00:00:00:00:02 10.0.0.2
+END
+SCENARIO swp_fault 3sec
+DATA: (swp_data, node1, node2, RECV)
+(TRUE) >> ENABLE_CNTR( DATA );
+%s
+END`, swp.FilterTuples(9100), rule)
+}
+
+// TestScriptedDropRecovered drops one data chunk by script; the protocol
+// must retransmit exactly once and the scenario STOPs when the stream
+// resumes.
+func TestScriptedDropRecovered(t *testing.T) {
+	script := swpScript(`
+((DATA = 4)) >> DROP( swp_data, node1, node2, RECV );
+((DATA = 12)) >> STOP;
+`)
+	r := newRig(t, 2, script)
+	data := blob(8 * 1024) // 16 chunks
+	rx, _ := swp.NewReceiver(r.h2, 9100)
+	tx, _ := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{})
+	tx.Start()
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := r.ctl.Result()
+	if !res.Stopped || len(res.Errors) > 0 {
+		t.Fatalf("scenario: %+v", res)
+	}
+	if tx.Stats.Retransmissions != 1 {
+		t.Errorf("retransmissions = %d, want 1", tx.Stats.Retransmissions)
+	}
+	if !rx.Complete() || !bytes.Equal(rx.Data(), data) {
+		t.Error("transfer broken after injected drop")
+	}
+	if rx.Stats.Duplicates != 0 {
+		t.Errorf("unexpected duplicates: %d", rx.Stats.Duplicates)
+	}
+}
+
+// TestScriptedDupSuppressed duplicates a chunk; the receiver must accept
+// it once and re-ack the copy.
+func TestScriptedDupSuppressed(t *testing.T) {
+	script := swpScript(`
+((DATA = 3)) >> DUP( swp_data, node1, node2, RECV );
+((DATA = 10)) >> STOP;
+`)
+	r := newRig(t, 3, script)
+	data := blob(8 * 1024)
+	rx, _ := swp.NewReceiver(r.h2, 9100)
+	tx, _ := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{})
+	tx.Start()
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ctl.Result().Stopped {
+		t.Fatalf("scenario: %+v", r.ctl.Result())
+	}
+	if rx.Stats.Duplicates != 1 {
+		t.Errorf("receiver duplicates = %d, want 1", rx.Stats.Duplicates)
+	}
+	if !bytes.Equal(rx.Data()[:len(data)], data) && !rx.Complete() {
+		t.Error("stream corrupted by duplicate")
+	}
+	if tx.Stats.DupAcks == 0 {
+		t.Error("sender never saw the duplicate ack")
+	}
+}
+
+// TestScriptedBlackholeFailsSender drops every data chunk from #5 on;
+// the sender must give up after MaxRetries and the scenario ends by
+// inactivity (the analysis outcome for an unrecoverable fault).
+func TestScriptedBlackholeFailsSender(t *testing.T) {
+	script := swpScript(`
+((DATA >= 5)) >> DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+          DROP( swp_data, node1, node2, RECV );
+`)
+	r := newRig(t, 4, script)
+	data := blob(8 * 1024)
+	rx, _ := swp.NewReceiver(r.h2, 9100)
+	tx, _ := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{RTO: 50 * time.Millisecond, MaxRetries: 5})
+	failed := false
+	tx.OnFail = func() { failed = true }
+	tx.Start()
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !failed || !tx.Failed() {
+		t.Error("sender did not give up against the blackhole")
+	}
+	if rx.Complete() {
+		t.Error("receiver completed through a blackhole")
+	}
+	res := r.ctl.Result()
+	if !res.Inactivity {
+		t.Errorf("scenario should end by inactivity: %+v", res)
+	}
+}
+
+// TestScriptedDelayToleratedWithoutDuplicates delays one chunk by less
+// than the RTO: the transfer proceeds with no retransmission at all.
+func TestScriptedDelayTolerated(t *testing.T) {
+	script := swpScript(`
+((DATA = 2)) >> DELAY( swp_data, node1, node2, RECV, 30ms );
+((DATA = 10)) >> STOP;
+`)
+	r := newRig(t, 5, script)
+	data := blob(8 * 1024)
+	rx, _ := swp.NewReceiver(r.h2, 9100)
+	tx, _ := swp.NewSender(r.h1, 9101, r.h2.IP, 9100, data, swp.Config{RTO: 100 * time.Millisecond})
+	tx.Start()
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ctl.Result().Stopped {
+		t.Fatalf("scenario: %+v", r.ctl.Result())
+	}
+	if tx.Stats.Retransmissions != 0 {
+		t.Errorf("retransmissions = %d; 30ms delay must stay under the 100ms RTO", tx.Stats.Retransmissions)
+	}
+	if !rx.Complete() {
+		t.Error("transfer incomplete")
+	}
+}

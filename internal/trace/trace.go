@@ -1,0 +1,197 @@
+// Package trace provides tcpdump-style packet capture for the simulated
+// testbed. The paper's motivation section describes collecting tcpdump
+// traces and inspecting them manually as the tedious baseline VirtualWire
+// replaces; this package exists both for debugging the testbed and for
+// demonstrating that contrast in the examples.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/rll"
+	"virtualwire/internal/sim"
+	"virtualwire/internal/stack"
+)
+
+// Entry is one captured frame with its capture point and timestamp.
+type Entry struct {
+	At   time.Duration
+	Node string
+	// Dir is "send" or "recv" relative to the capture point.
+	Dir     string
+	FrameID uint64
+	Len     int
+	Summary string
+}
+
+// String renders the entry in a tcpdump-like single line.
+func (e Entry) String() string {
+	return fmt.Sprintf("%12v %-8s %-4s %4dB %s", e.At, e.Node, e.Dir, e.Len, e.Summary)
+}
+
+// Buffer is a bounded capture ring shared by any number of Taps.
+type Buffer struct {
+	cap     int
+	entries []Entry
+	dropped uint64
+}
+
+// NewBuffer returns a capture buffer holding up to capEntries entries
+// (<=0 selects 4096). When full, the oldest entries are discarded.
+func NewBuffer(capEntries int) *Buffer {
+	if capEntries <= 0 {
+		capEntries = 4096
+	}
+	return &Buffer{cap: capEntries}
+}
+
+func (b *Buffer) add(e Entry) {
+	if len(b.entries) >= b.cap {
+		copy(b.entries, b.entries[1:])
+		b.entries = b.entries[:len(b.entries)-1]
+		b.dropped++
+	}
+	b.entries = append(b.entries, e)
+}
+
+// Entries returns a copy of the captured entries in order.
+func (b *Buffer) Entries() []Entry {
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// Dropped reports how many entries were evicted.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Filter returns the entries whose summary contains all the given
+// substrings.
+func (b *Buffer) Filter(substrings ...string) []Entry {
+	var out []Entry
+	for _, e := range b.entries {
+		ok := true
+		for _, s := range substrings {
+			if !strings.Contains(e.Summary, s) && !strings.Contains(e.Node, s) && e.Dir != s {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders all entries, one per line.
+func (b *Buffer) Dump() string {
+	var sb strings.Builder
+	for _, e := range b.entries {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Tap is a stack.Layer that records every frame passing through it into a
+// Buffer, without modifying or delaying anything.
+type Tap struct {
+	base  stack.Base
+	sched *sim.Scheduler
+	node  string
+	buf   *Buffer
+}
+
+var _ stack.Layer = (*Tap)(nil)
+
+// NewTap returns a capture layer writing to buf under the given node
+// label.
+func NewTap(sched *sim.Scheduler, node string, buf *Buffer) *Tap {
+	return &Tap{sched: sched, node: node, buf: buf}
+}
+
+// SetBelow implements stack.Layer.
+func (t *Tap) SetBelow(d stack.Down) { t.base.SetBelow(d) }
+
+// SetAbove implements stack.Layer.
+func (t *Tap) SetAbove(u stack.Up) { t.base.SetAbove(u) }
+
+// SendDown implements stack.Layer.
+func (t *Tap) SendDown(fr *ether.Frame) {
+	t.record(fr, "send")
+	t.base.PassDown(fr)
+}
+
+// DeliverUp implements stack.Layer.
+func (t *Tap) DeliverUp(fr *ether.Frame) {
+	t.record(fr, "recv")
+	t.base.PassUp(fr)
+}
+
+func (t *Tap) record(fr *ether.Frame, dir string) {
+	t.buf.add(Entry{
+		At:      t.sched.Now(),
+		Node:    t.node,
+		Dir:     dir,
+		FrameID: fr.ID,
+		Len:     len(fr.Data),
+		Summary: Summarize(fr),
+	})
+}
+
+// Summarize decodes a frame into a one-line description covering every
+// protocol on the testbed.
+func Summarize(fr *ether.Frame) string {
+	eth, err := packet.DecodeEth(fr.Data)
+	if err != nil {
+		return "short frame"
+	}
+	switch eth.Type {
+	case packet.EtherTypeIPv4:
+		return summarizeIPv4(fr.Data)
+	case packet.EtherTypeRether:
+		h, err := packet.DecodeRether(fr.Data[packet.EthHeaderLen:])
+		if err != nil {
+			return "rether: malformed"
+		}
+		return fmt.Sprintf("rether %s seq=%d origin=%d",
+			packet.RetherTypeName(h.Type), h.TokenSeq, h.Origin)
+	case packet.EtherTypeVWCtl:
+		return "vwire control"
+	case rll.EtherType:
+		return fmt.Sprintf("rll %s -> %s (%dB encapsulated)", eth.Src, eth.Dst,
+			len(fr.Data)-packet.EthHeaderLen)
+	}
+	return fmt.Sprintf("ethertype 0x%04x %s -> %s", eth.Type, eth.Src, eth.Dst)
+}
+
+func summarizeIPv4(b []byte) string {
+	iph, err := packet.DecodeIPv4(b[packet.OffIPHeader:])
+	if err != nil {
+		return "ipv4: bad header"
+	}
+	rest := b[packet.OffIPHeader+packet.IPv4HeaderLen:]
+	switch iph.Proto {
+	case packet.ProtoTCP:
+		th, err := packet.DecodeTCP(rest)
+		if err != nil {
+			return "tcp: malformed"
+		}
+		dataLen := int(iph.TotalLen) - packet.IPv4HeaderLen - packet.TCPHeaderLen
+		return fmt.Sprintf("tcp %v:%d > %v:%d [%s] seq=%d ack=%d len=%d",
+			iph.Src, th.SrcPort, iph.Dst, th.DstPort,
+			packet.FlagString(th.Flags), th.Seq, th.Ack, dataLen)
+	case packet.ProtoUDP:
+		uh, err := packet.DecodeUDP(rest)
+		if err != nil {
+			return "udp: malformed"
+		}
+		return fmt.Sprintf("udp %v:%d > %v:%d len=%d",
+			iph.Src, uh.SrcPort, iph.Dst, uh.DstPort, int(uh.Length)-packet.UDPHeaderLen)
+	}
+	return fmt.Sprintf("ipv4 proto=%d %v > %v", iph.Proto, iph.Src, iph.Dst)
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+	"virtualwire/internal/stack"
+)
+
+func TestTapCapturesBothDirections(t *testing.T) {
+	s := sim.NewScheduler(1)
+	bus := ether.NewSharedBus(s, ether.BusConfig{})
+	h1 := stack.NewHost(s, "node1", packet.MAC{0, 0, 0, 0, 0, 1}, packet.IP{10, 0, 0, 1})
+	h2 := stack.NewHost(s, "node2", packet.MAC{0, 0, 0, 0, 0, 2}, packet.IP{10, 0, 0, 2})
+	for _, h := range []*stack.Host{h1, h2} {
+		h.Neighbors[h1.IP] = h1.MAC
+		h.Neighbors[h2.IP] = h2.MAC
+	}
+	bus.Attach(h1.NIC)
+	bus.Attach(h2.NIC)
+	buf := NewBuffer(0)
+	h1.Build(NewTap(s, "node1", buf))
+	h2.Build(NewTap(s, "node2", buf))
+
+	srv, _ := h2.UDP.Bind(7)
+	srv.OnDatagram = func(src packet.IP, sp uint16, p []byte) {
+		if err := srv.SendTo(src, sp, p); err != nil {
+			t.Errorf("echo: %v", err)
+		}
+	}
+	cli, _ := h1.UDP.Bind(1234)
+	if err := cli.SendTo(h2.IP, 7, []byte("ping")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries := buf.Entries()
+	if len(entries) != 4 { // send@1, recv@2, send@2, recv@1
+		t.Fatalf("captured %d entries:\n%s", len(entries), buf.Dump())
+	}
+	if entries[0].Node != "node1" || entries[0].Dir != "send" {
+		t.Errorf("first entry %+v", entries[0])
+	}
+	if !strings.Contains(entries[0].Summary, "udp 10.0.0.1:1234 > 10.0.0.2:7") {
+		t.Errorf("summary %q", entries[0].Summary)
+	}
+	if got := buf.Filter("recv"); len(got) != 2 {
+		t.Errorf("Filter(recv) = %d entries", len(got))
+	}
+	if got := buf.Filter("node2", "udp"); len(got) != 2 {
+		t.Errorf("Filter(node2,udp) = %d entries", len(got))
+	}
+}
+
+func TestBufferEviction(t *testing.T) {
+	buf := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		buf.add(Entry{FrameID: uint64(i)})
+	}
+	if buf.Dropped() != 2 {
+		t.Errorf("dropped = %d", buf.Dropped())
+	}
+	es := buf.Entries()
+	if len(es) != 3 || es[0].FrameID != 2 || es[2].FrameID != 4 {
+		t.Errorf("entries = %+v", es)
+	}
+}
+
+func TestSummarizeProtocols(t *testing.T) {
+	mac1, mac2 := packet.MAC{1}, packet.MAC{2}
+	tcpFrame := packet.BuildTCPFrame(mac1, mac2, packet.IP{10, 0, 0, 1}, packet.IP{10, 0, 0, 2},
+		packet.TCP{SrcPort: 0x6000, DstPort: 0x4000, Seq: 7, Flags: packet.TCPSyn}, nil)
+	got := Summarize(&ether.Frame{Data: tcpFrame})
+	if !strings.Contains(got, "tcp") || !strings.Contains(got, "[S]") {
+		t.Errorf("tcp summary %q", got)
+	}
+	rtFrame := packet.BuildRetherFrame(mac1, mac2, packet.Rether{Type: packet.RetherToken, TokenSeq: 3}, nil)
+	got = Summarize(&ether.Frame{Data: rtFrame})
+	if !strings.Contains(got, "rether token seq=3") {
+		t.Errorf("rether summary %q", got)
+	}
+	if got := Summarize(&ether.Frame{Data: []byte{1, 2}}); got != "short frame" {
+		t.Errorf("short frame summary %q", got)
+	}
+}

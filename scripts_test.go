@@ -1,0 +1,214 @@
+package virtualwire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRetransmissionScript runs scripts/tcp_retransmission.fsl: the
+// variable-binding filter must isolate the retransmission of one
+// specific segment, and the conforming TCP retransmits it exactly once.
+func TestRetransmissionScript(t *testing.T) {
+	script := readScript(t, "tcp_retransmission.fsl")
+	tb, err := New(Config{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNodesFromScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := tb.AddTCPBulk(TCPBulkConfig{
+		From: "node1", To: "node2",
+		SrcPort: 0x6000, DstPort: 0x4000, Bytes: 64 * 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Stopped {
+		t.Fatalf("scenario did not STOP: %+v", rep.Result)
+	}
+	if !rep.Passed {
+		t.Fatalf("failed: %+v", rep.Result)
+	}
+	if bulk.SenderStats().Retransmissions != 1 {
+		t.Errorf("retransmissions = %d, want exactly 1", bulk.SenderStats().Retransmissions)
+	}
+	node2, _ := tb.Node("node2")
+	if v, _ := node2.CounterValue("RT1"); v != 3 {
+		t.Errorf("RT1 = %d, want 3 (binder + dropped original + retransmission)", v)
+	}
+}
+
+// TestUDPFaultScenarios runs every scenario of the multi-scenario UDP
+// regression file through LoadScriptScenario.
+func TestUDPFaultScenarios(t *testing.T) {
+	script := readScript(t, "udp_faults.fsl")
+	names, err := ScenarioNames(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dup_one", "delay_three", "reorder_window"}
+	if len(names) != len(want) {
+		t.Fatalf("scenarios = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("scenarios = %v, want %v", names, want)
+		}
+	}
+	for i, name := range names {
+		name := name
+		seed := int64(62 + i)
+		t.Run(name, func(t *testing.T) {
+			tb, err := New(Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.AddNodesFromScript(script); err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.LoadScriptScenario(script, name); err != nil {
+				t.Fatal(err)
+			}
+			echo, err := tb.AddUDPEcho(UDPEchoConfig{
+				Client: "node1", Server: "node2",
+				ServerPort: 9000, Count: 40, Interval: 5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := tb.Run(30 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Result.Stopped || !rep.Passed {
+				t.Fatalf("%s: %+v (echo %d/%d)", name, rep.Result, echo.Received(), echo.Sent())
+			}
+		})
+	}
+	// Unknown scenario name errors.
+	tb, _ := New(Config{})
+	if err := tb.AddNodesFromScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadScriptScenario(script, "ghost"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestSummaryAndPcap exercises the post-run reporting surfaces.
+func TestSummaryAndPcap(t *testing.T) {
+	script := readScript(t, "fig5_tcp_ss_ca.fsl")
+	var pcap bytes.Buffer
+	tb, err := New(Config{Seed: 65, Pcap: &pcap, PcapNode: "node2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNodesFromScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddTCPBulk(TCPBulkConfig{
+		From: "node1", To: "node2",
+		SrcPort: 0x6000, DstPort: 0x4000, Bytes: 40 * 1024,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sum := tb.Summary()
+	for _, wantStr := range []string{
+		"scenario \"TCP_SS_CA_algo\"", "node1", "node2",
+		"engine:", "control plane:", "nic:", "drop",
+	} {
+		if !strings.Contains(sum, wantStr) {
+			t.Errorf("summary missing %q:\n%s", wantStr, sum)
+		}
+	}
+	// Valid pcap: magic + at least the handshake frames.
+	if pcap.Len() < 24+3*16 {
+		t.Errorf("pcap only %d bytes", pcap.Len())
+	}
+	magic := pcap.Bytes()[:4]
+	if magic[0] != 0xd4 || magic[1] != 0xc3 || magic[2] != 0xb2 || magic[3] != 0xa1 {
+		t.Errorf("pcap magic %x", magic)
+	}
+}
+
+// TestInjectedFaultsJournal verifies the post-run injection journal.
+func TestInjectedFaultsJournal(t *testing.T) {
+	script := readScript(t, "udp_faults.fsl")
+	tb, err := New(Config{Seed: 66})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNodesFromScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadScriptScenario(script, "delay_three"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddUDPEcho(UDPEchoConfig{
+		Client: "node1", Server: "node2", ServerPort: 9000,
+		Count: 40, Interval: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	faults := tb.InjectedFaults()
+	if len(faults) != 3 {
+		t.Fatalf("journal = %+v, want 3 delays", faults)
+	}
+	for i, f := range faults {
+		if f.Kind != "DELAY" || f.Node != "node2" || f.PacketType != "udp_data" {
+			t.Errorf("fault %d = %+v", i, f)
+		}
+		if i > 0 && f.At < faults[i-1].At {
+			t.Error("journal not time ordered")
+		}
+	}
+}
+
+// TestUDPStreamWorkload verifies the CBR stream and its jitter metric.
+func TestUDPStreamWorkload(t *testing.T) {
+	tb, err := New(Config{Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddHost("a", "00:00:00:00:00:01", "10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddHost("b", "00:00:00:00:00:02", "10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := tb.AddUDPStream(UDPStreamConfig{
+		From: "a", To: "b", Port: 9000, Count: 200, Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Received() != 200 {
+		t.Fatalf("received %d/200", stream.Received())
+	}
+	// On an idle switch the inter-arrival gap stays at the send interval.
+	if stream.MaxInterArrival() > 2*time.Millisecond {
+		t.Errorf("max inter-arrival %v on an idle wire", stream.MaxInterArrival())
+	}
+}

@@ -1,0 +1,602 @@
+// Package virtualwire is a reproduction of "VirtualWire: A Fault
+// Injection and Analysis Tool for Network Protocols" (De, Neogi, Chiueh;
+// ICDCS 2003): a distributed network fault injection and analysis system,
+// together with the complete simulated testbed it runs on.
+//
+// A Testbed assembles hosts on a simulated Ethernet (switch or shared
+// bus), inserts a VirtualWire engine between each host's link layer and
+// IP stack, optionally adds the Reliable Link Layer and the Rether
+// token-passing protocol, compiles a Fault Specification Language script
+// into the six execution tables, distributes them over the control plane,
+// runs the scenario against real protocol traffic (a from-scratch TCP,
+// UDP, Rether), and reports injected faults and flagged specification
+// violations.
+//
+// Minimal use:
+//
+//	tb, _ := virtualwire.New(virtualwire.Config{})
+//	tb.AddNodesFromScript(script)    // hosts from the NODE_TABLE
+//	tb.LoadScript(script)            // compile + stage the scenario
+//	tb.AddTCPBulk(virtualwire.TCPBulkConfig{From: "node1", To: "node2",
+//	    SrcPort: 0x6000, DstPort: 0x4000, Bytes: 1 << 20})
+//	report, _ := tb.Run(30 * time.Second)
+//	fmt.Println(report.Result, report.Passed)
+package virtualwire
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"virtualwire/internal/core"
+	"virtualwire/internal/ether"
+	"virtualwire/internal/fsl"
+	"virtualwire/internal/packet"
+	"virtualwire/internal/rether"
+	"virtualwire/internal/rll"
+	"virtualwire/internal/sim"
+	"virtualwire/internal/stack"
+	"virtualwire/internal/tcp"
+	"virtualwire/internal/trace"
+)
+
+// Aliases re-exported so the public API is self-contained.
+type (
+	// Result is the scenario outcome (explicit STOP, inactivity
+	// timeout, flagged errors).
+	Result = core.Result
+	// ErrorReport is one FLAG_ERR occurrence.
+	ErrorReport = core.ErrorReport
+	// CostModel charges virtual processing time per packet in the
+	// engines (see the Figure 8 experiment).
+	CostModel = core.CostModel
+	// TraceEntry is one captured frame.
+	TraceEntry = trace.Entry
+)
+
+// MediumKind selects the testbed wiring.
+type MediumKind int
+
+// Medium kinds.
+const (
+	// MediumSwitch is a store-and-forward switch with half-duplex port
+	// segments (the paper's 100 Mbps switch).
+	MediumSwitch MediumKind = iota + 1
+	// MediumBus is a single CSMA/CD shared bus (Rether's natural home).
+	MediumBus
+	// MediumSwitchFullDuplex uses full-duplex ports (ablation).
+	MediumSwitchFullDuplex
+)
+
+// Config parametrizes a testbed.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Medium selects switch (default) or shared bus wiring.
+	Medium MediumKind
+	// BitsPerSecond is the link bandwidth (default 100 Mbps).
+	BitsPerSecond float64
+	// Propagation is the per-segment propagation delay (default 500ns).
+	Propagation time.Duration
+	// BitErrorRate is the per-bit corruption probability on the wire.
+	BitErrorRate float64
+	// RLL inserts the Reliable Link Layer under every engine.
+	RLL bool
+	// RLLWindow is the RLL go-back-N window (default 32).
+	RLLWindow int
+	// Cost is the engine processing-cost model (zero = free).
+	Cost CostModel
+	// IndexedClassifier enables the ethertype-indexed classifier
+	// ablation instead of the paper's linear scan.
+	IndexedClassifier bool
+	// TraceCapacity, when positive, records a tcpdump-like trace of up
+	// to this many frames (tap directly above each NIC).
+	TraceCapacity int
+	// ControlNode names the host carrying the programming front-end;
+	// default is the script's first node.
+	ControlNode string
+	// Pcap, when non-nil, receives a live libpcap-format capture of all
+	// frames traversing PcapNode's interface (tcpdump/Wireshark
+	// compatible).
+	Pcap io.Writer
+	// PcapNode names the capture point (default: the first host).
+	PcapNode string
+}
+
+// Node is one testbed host.
+type Node struct {
+	tb     *Testbed
+	name   string
+	host   *stack.Host
+	engine *core.Engine
+	rll    *rll.RLL
+	rether *rether.Layer
+	tcp    *tcp.Stack
+}
+
+// Name returns the host name.
+func (n *Node) Name() string { return n.name }
+
+// MAC returns the hardware address as a string.
+func (n *Node) MAC() string { return n.host.MAC.String() }
+
+// IP returns the IPv4 address as a string.
+func (n *Node) IP() string { return n.host.IP.String() }
+
+// CounterValue reads a scenario counter homed on this node (0, false if
+// the scenario has no such counter).
+func (n *Node) CounterValue(name string) (int64, bool) {
+	return n.engine.CounterValueByName(name)
+}
+
+// Failed reports whether a FAIL action crashed this node.
+func (n *Node) Failed() bool { return n.engine.Failed() }
+
+// RetherRingSize reports the node's current ring membership size (0 if
+// Rether is not installed).
+func (n *Node) RetherRingSize() int {
+	if n.rether == nil {
+		return 0
+	}
+	return len(n.rether.Ring())
+}
+
+// RequestRTSlots asks the Rether ring monitor to reserve per-cycle
+// real-time transmission slots for this node (admission control). The
+// callback fires inside the simulation with the grant outcome. Valid
+// after the testbed is built (i.e. once Run has been called, combine
+// with RunFor to observe the effect).
+func (n *Node) RequestRTSlots(slots int, cb func(granted bool, slots int)) error {
+	if n.rether == nil {
+		return fmt.Errorf("virtualwire: host %q does not run Rether", n.name)
+	}
+	n.rether.RequestReservation(slots, func(r rether.ReserveResult) {
+		if cb != nil {
+			cb(r.Granted, r.Slots)
+		}
+	})
+	return nil
+}
+
+// EngineStats returns a snapshot of the node's engine counters.
+func (n *Node) EngineStats() core.EngineStats { return n.engine.Stats }
+
+// InjectedFault describes one fault an engine applied, for reports.
+type InjectedFault struct {
+	At         time.Duration
+	Node       string
+	Kind       string
+	PacketType string
+}
+
+// InjectedFaults returns every fault applied across the testbed, merged
+// in time order — the run's injection journal.
+func (tb *Testbed) InjectedFaults() []InjectedFault {
+	var out []InjectedFault
+	for _, n := range tb.nodes {
+		for _, f := range n.engine.FaultLog() {
+			pkt := ""
+			if tb.prog != nil && f.Filter >= 0 && int(f.Filter) < len(tb.prog.Filters) {
+				pkt = tb.prog.Filters[f.Filter].Name
+			}
+			out = append(out, InjectedFault{
+				At: f.At, Node: n.name, Kind: f.Kind.String(), PacketType: pkt,
+			})
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Testbed is a complete VirtualWire deployment: hosts, media, engines,
+// optional RLL/Rether, workloads and one staged scenario.
+type Testbed struct {
+	cfg   Config
+	sched *sim.Scheduler
+	sw    *ether.Switch
+	bus   *ether.SharedBus
+
+	nodes  []*Node
+	byName map[string]*Node
+
+	prog    *core.Program
+	ctl     *core.Controller
+	tracing *trace.Buffer
+
+	retherRing []string
+	retherCfg  rether.Config
+	rtStreams  []portPair
+
+	workloads []workload
+	built     bool
+}
+
+type portPair struct {
+	srcPort, dstPort uint16
+}
+
+type workload interface {
+	start(tb *Testbed) error
+}
+
+// New creates an empty testbed.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.Medium == 0 {
+		cfg.Medium = MediumSwitch
+	}
+	tb := &Testbed{
+		cfg:    cfg,
+		sched:  sim.NewScheduler(cfg.Seed),
+		byName: make(map[string]*Node),
+	}
+	switch cfg.Medium {
+	case MediumSwitch, MediumSwitchFullDuplex:
+		tb.sw = ether.NewSwitch(tb.sched, ether.SwitchConfig{
+			BitsPerSecond: cfg.BitsPerSecond,
+			Propagation:   cfg.Propagation,
+			BitErrorRate:  cfg.BitErrorRate,
+			FullDuplex:    cfg.Medium == MediumSwitchFullDuplex,
+		})
+	case MediumBus:
+		tb.bus = ether.NewSharedBus(tb.sched, ether.BusConfig{
+			BitsPerSecond: cfg.BitsPerSecond,
+			Propagation:   cfg.Propagation,
+			BitErrorRate:  cfg.BitErrorRate,
+		})
+	default:
+		return nil, fmt.Errorf("virtualwire: unknown medium %d", cfg.Medium)
+	}
+	if cfg.TraceCapacity > 0 {
+		tb.tracing = trace.NewBuffer(cfg.TraceCapacity)
+	}
+	return tb, nil
+}
+
+// AddHost adds a host with the given identity. Must be called before Run.
+func (tb *Testbed) AddHost(name, mac, ip string) (*Node, error) {
+	if tb.built {
+		return nil, fmt.Errorf("virtualwire: testbed already built")
+	}
+	if _, dup := tb.byName[name]; dup {
+		return nil, fmt.Errorf("virtualwire: host %q already added", name)
+	}
+	m, err := packet.ParseMAC(mac)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := packet.ParseIP(ip)
+	if err != nil {
+		return nil, err
+	}
+	h := stack.NewHost(tb.sched, name, m, addr)
+	if tb.sw != nil {
+		tb.sw.AttachHost(h.NIC)
+	} else {
+		tb.bus.Attach(h.NIC)
+	}
+	n := &Node{
+		tb:     tb,
+		name:   name,
+		host:   h,
+		engine: core.NewEngine(tb.sched, m),
+	}
+	n.engine.Cost = tb.cfg.Cost
+	n.engine.UseIndexedClassifier = tb.cfg.IndexedClassifier
+	if tb.cfg.RLL {
+		n.rll = rll.New(tb.sched, m, rll.Config{Window: tb.cfg.RLLWindow})
+		h.NIC.DeliverCorrupt = true // the RLL validates its own CRC
+	}
+	tb.nodes = append(tb.nodes, n)
+	tb.byName[name] = n
+	return n, nil
+}
+
+// AddNodesFromScript creates one host per NODE_TABLE row of an FSL
+// script.
+func (tb *Testbed) AddNodesFromScript(src string) error {
+	s, err := fsl.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, nd := range s.Nodes {
+		if _, err := tb.AddHost(nd.Name, nd.MAC, nd.IP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Node returns a host by name.
+func (tb *Testbed) Node(name string) (*Node, bool) {
+	n, ok := tb.byName[name]
+	return n, ok
+}
+
+// Nodes returns all hosts in addition order.
+func (tb *Testbed) Nodes() []*Node {
+	out := make([]*Node, len(tb.nodes))
+	copy(out, tb.nodes)
+	return out
+}
+
+// InstallRether runs the Rether token-passing protocol on the named
+// hosts, in the given ring order. RT port pairs registered with
+// AddRTStream are served from the real-time queue.
+func (tb *Testbed) InstallRether(ringOrder []string, cfg RetherConfig) error {
+	if tb.built {
+		return fmt.Errorf("virtualwire: testbed already built")
+	}
+	for _, name := range ringOrder {
+		if _, ok := tb.byName[name]; !ok {
+			return fmt.Errorf("virtualwire: rether ring names unknown host %q", name)
+		}
+	}
+	tb.retherRing = append([]string(nil), ringOrder...)
+	tb.retherCfg = rether.Config{
+		BEQuota:          cfg.BEQuota,
+		RTQuota:          cfg.RTQuota,
+		TokenAckTimeout:  cfg.TokenAckTimeout,
+		TokenRetries:     cfg.TokenRetries,
+		TokenIdleTimeout: cfg.TokenIdleTimeout,
+	}
+	return nil
+}
+
+// RetherConfig tunes the Rether installation (zero values select the
+// paper-faithful defaults, including 3 token transmissions before a node
+// is declared dead).
+type RetherConfig struct {
+	BEQuota          int
+	RTQuota          int
+	TokenAckTimeout  time.Duration
+	TokenRetries     int
+	TokenIdleTimeout time.Duration
+}
+
+// AddRTStream marks TCP/UDP traffic with the given source and destination
+// ports as real-time for Rether's reservation queue.
+func (tb *Testbed) AddRTStream(srcPort, dstPort uint16) {
+	tb.rtStreams = append(tb.rtStreams, portPair{srcPort, dstPort})
+}
+
+// LoadScript compiles an FSL script and stages its (single) scenario.
+// Every node in the script's NODE_TABLE must already exist with matching
+// MAC and IP.
+func (tb *Testbed) LoadScript(src string) error {
+	prog, err := fsl.Compile(src)
+	if err != nil {
+		return err
+	}
+	for _, nd := range prog.Nodes {
+		n, ok := tb.byName[nd.Name]
+		if !ok {
+			return fmt.Errorf("virtualwire: script node %q not in testbed", nd.Name)
+		}
+		if n.host.MAC != nd.MAC || n.host.IP != nd.IP {
+			return fmt.Errorf("virtualwire: script node %q identity mismatch (script %s/%s, testbed %s/%s)",
+				nd.Name, nd.MAC, nd.IP, n.MAC(), n.IP())
+		}
+	}
+	tb.prog = prog
+	return nil
+}
+
+// build assembles every host's layer chain and the controller.
+func (tb *Testbed) build() error {
+	if tb.built {
+		return nil
+	}
+	tb.built = true
+	inRing := make(map[string]bool, len(tb.retherRing))
+	var ringMACs []packet.MAC
+	for _, name := range tb.retherRing {
+		inRing[name] = true
+		ringMACs = append(ringMACs, tb.byName[name].host.MAC)
+	}
+	var pcapWriter *trace.PcapWriter
+	if tb.cfg.Pcap != nil {
+		pw, err := trace.NewPcapWriter(tb.cfg.Pcap)
+		if err != nil {
+			return err
+		}
+		pcapWriter = pw
+	}
+	pcapNode := tb.cfg.PcapNode
+	if pcapNode == "" && len(tb.nodes) > 0 {
+		pcapNode = tb.nodes[0].name
+	}
+	for _, n := range tb.nodes {
+		var layers []stack.Layer
+		if tb.tracing != nil {
+			layers = append(layers, trace.NewTap(tb.sched, n.name, tb.tracing))
+		}
+		if pcapWriter != nil && n.name == pcapNode {
+			layers = append(layers, trace.NewPcapTap(tb.sched, pcapWriter))
+		}
+		if n.rll != nil {
+			layers = append(layers, n.rll)
+		}
+		layers = append(layers, n.engine)
+		if inRing[n.name] {
+			rcfg := tb.retherCfg
+			rcfg.Ring = ringMACs
+			n.rether = rether.New(tb.sched, n.host.MAC, rcfg)
+			if len(tb.rtStreams) > 0 {
+				streams := append([]portPair(nil), tb.rtStreams...)
+				n.rether.ClassifyRT = func(fr *ether.Frame) bool {
+					return matchesRTStream(fr, streams)
+				}
+			}
+			layers = append(layers, n.rether)
+		}
+		n.host.Build(layers...)
+		n.tcp = tcp.NewStack(n.host)
+	}
+	// Static ARP: everyone knows everyone (the Node Table).
+	for _, a := range tb.nodes {
+		for _, b := range tb.nodes {
+			a.host.Neighbors[b.host.IP] = b.host.MAC
+		}
+	}
+	for _, name := range tb.retherRing {
+		tb.byName[name].rether.Start()
+	}
+	if tb.prog != nil {
+		ctlName := tb.cfg.ControlNode
+		if ctlName == "" {
+			ctlName = tb.prog.Nodes[0].Name
+		}
+		ctlID, ok := tb.prog.NodeByName(ctlName)
+		if !ok {
+			return fmt.Errorf("virtualwire: control node %q not in script", ctlName)
+		}
+		ctl, err := core.NewController(tb.sched, tb.prog, tb.byName[ctlName].engine, ctlID)
+		if err != nil {
+			return err
+		}
+		tb.ctl = ctl
+	}
+	return nil
+}
+
+func matchesRTStream(fr *ether.Frame, streams []portPair) bool {
+	d := fr.Data
+	if fr.EtherType() != packet.EtherTypeIPv4 || len(d) < packet.OffTCPDport+2 {
+		return false
+	}
+	proto := d[packet.OffIPProto]
+	if proto != packet.ProtoTCP && proto != packet.ProtoUDP {
+		return false
+	}
+	sp := uint16(d[packet.OffTCPSport])<<8 | uint16(d[packet.OffTCPSport+1])
+	dp := uint16(d[packet.OffTCPDport])<<8 | uint16(d[packet.OffTCPDport+1])
+	for _, s := range streams {
+		if (sp == s.srcPort && dp == s.dstPort) || (sp == s.dstPort && dp == s.srcPort) {
+			return true
+		}
+	}
+	return false
+}
+
+// Report is the outcome of a Run.
+type Report struct {
+	// Result is the scenario outcome; zero-valued when no script was
+	// loaded.
+	Result Result
+	// Passed applies the conventional criterion: started, no flagged
+	// errors, and an explicit STOP when the script declares an
+	// inactivity timeout.
+	Passed bool
+	// Duration is the virtual time the run covered.
+	Duration time.Duration
+	// Events is the number of simulation events executed.
+	Events uint64
+}
+
+// Run builds the testbed (if needed), launches the scenario, starts the
+// workloads once every engine is initialized, and runs until the horizon
+// or until the scenario finishes and all traffic drains.
+func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
+	if err := tb.build(); err != nil {
+		return Report{}, err
+	}
+	start := tb.sched.Now()
+	if tb.ctl != nil {
+		startWorkloads := func() {
+			for _, w := range tb.workloads {
+				w := w
+				tb.sched.After(0, "vw.workload", func() {
+					_ = w.start(tb)
+				})
+			}
+		}
+		tb.ctl.OnStarted = startWorkloads
+		if err := tb.ctl.Launch(); err != nil {
+			return Report{}, err
+		}
+	} else {
+		for _, w := range tb.workloads {
+			if err := w.start(tb); err != nil {
+				return Report{}, err
+			}
+		}
+	}
+	if tb.ctl != nil {
+		// A finished scenario ends the run early; otherwise run to the
+		// horizon. (Post-scenario traffic can be observed with RunFor.)
+		deadline := start + horizon
+		for !tb.ctl.Finished() && tb.sched.Now() < deadline {
+			if !tb.sched.Step() {
+				break
+			}
+		}
+		if !tb.ctl.Finished() && tb.sched.Now() < deadline {
+			if err := tb.sched.RunUntil(deadline); err != nil {
+				return Report{}, err
+			}
+		}
+	} else if err := tb.sched.RunUntil(start + horizon); err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Duration: tb.sched.Now() - start,
+		Events:   tb.sched.Executed(),
+	}
+	if tb.ctl != nil {
+		rep.Result = tb.ctl.Result()
+		rep.Passed = rep.Result.Passed(tb.prog.InactivityTimeout > 0)
+	} else {
+		rep.Passed = true
+	}
+	return rep, nil
+}
+
+// RunFor advances the simulation by d after an initial Run (for staged
+// experiments and examples that inspect intermediate state).
+func (tb *Testbed) RunFor(d time.Duration) error {
+	if !tb.built {
+		return fmt.Errorf("virtualwire: RunFor before Run")
+	}
+	return tb.sched.RunUntil(tb.sched.Now() + d)
+}
+
+// Now returns the current virtual time.
+func (tb *Testbed) Now() time.Duration { return tb.sched.Now() }
+
+// Trace returns the captured frames (empty unless Config.TraceCapacity
+// was set).
+func (tb *Testbed) Trace() []TraceEntry {
+	if tb.tracing == nil {
+		return nil
+	}
+	return tb.tracing.Entries()
+}
+
+// TraceFilter returns captured frames whose summary, node or direction
+// matches all given substrings.
+func (tb *Testbed) TraceFilter(substrings ...string) []TraceEntry {
+	if tb.tracing == nil {
+		return nil
+	}
+	return tb.tracing.Filter(substrings...)
+}
+
+// ScenarioResult returns the scenario outcome so far (valid after Run).
+func (tb *Testbed) ScenarioResult() Result {
+	if tb.ctl == nil {
+		return Result{}
+	}
+	return tb.ctl.Result()
+}
+
+// DumpTables renders the compiled six tables of the loaded script.
+func (tb *Testbed) DumpTables() string {
+	if tb.prog == nil {
+		return ""
+	}
+	return tb.prog.Dump()
+}

@@ -1,0 +1,388 @@
+package virtualwire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"virtualwire/internal/packet"
+	"virtualwire/internal/tcp"
+)
+
+// TCPBulkConfig describes a bulk TCP transfer workload, the traffic
+// source for the Figure 5 scenario and the Figure 7 throughput sweep.
+type TCPBulkConfig struct {
+	// From and To name the client and server hosts.
+	From, To string
+	// SrcPort and DstPort are the connection's ports (the paper uses
+	// 0x6000 -> 0x4000).
+	SrcPort, DstPort uint16
+	// Bytes, when positive, sends exactly this much data then
+	// (optionally) closes.
+	Bytes int
+	// RateBitsPerSecond, when positive, paces application writes at
+	// this offered rate instead (Figure 7's "offered data pumping
+	// rate").
+	RateBitsPerSecond float64
+	// Duration bounds the paced transmission (0 = until the run ends).
+	Duration time.Duration
+	// CloseWhenDone sends FIN after Bytes are written.
+	CloseWhenDone bool
+	// DisableCongestionControl makes the sender ignore cwnd (a broken
+	// TCP, for demonstrating that the analysis scripts catch it).
+	DisableCongestionControl bool
+}
+
+// TCPBulk is a running bulk-transfer workload handle.
+type TCPBulk struct {
+	cfg  TCPBulkConfig
+	conn *tcp.Conn
+
+	connected   bool
+	delivered   int
+	firstByteAt time.Duration
+	lastByteAt  time.Duration
+	closed      bool
+	failed      bool
+}
+
+var _ workload = (*TCPBulk)(nil)
+
+// AddTCPBulk stages a bulk TCP workload; it starts when the scenario
+// starts (or immediately when no script is loaded).
+func (tb *Testbed) AddTCPBulk(cfg TCPBulkConfig) (*TCPBulk, error) {
+	if _, ok := tb.byName[cfg.From]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.From)
+	}
+	if _, ok := tb.byName[cfg.To]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.To)
+	}
+	if cfg.Bytes <= 0 && cfg.RateBitsPerSecond <= 0 {
+		return nil, fmt.Errorf("virtualwire: TCPBulk needs Bytes or RateBitsPerSecond")
+	}
+	w := &TCPBulk{cfg: cfg}
+	tb.workloads = append(tb.workloads, w)
+	return w, nil
+}
+
+func (w *TCPBulk) start(tb *Testbed) error {
+	from := tb.byName[w.cfg.From]
+	to := tb.byName[w.cfg.To]
+	lst, err := to.tcp.Listen(w.cfg.DstPort)
+	if err != nil {
+		return err
+	}
+	lst.OnAccept = func(c *tcp.Conn) {
+		c.OnData = func(d []byte) {
+			if w.delivered == 0 {
+				w.firstByteAt = tb.sched.Now()
+			}
+			w.delivered += len(d)
+			w.lastByteAt = tb.sched.Now()
+		}
+		c.OnClose = func() {
+			w.closed = true
+			c.Close()
+		}
+	}
+	conn, err := from.tcp.Connect(w.cfg.SrcPort, to.host.IP, w.cfg.DstPort)
+	if err != nil {
+		return err
+	}
+	w.conn = conn
+	if w.cfg.DisableCongestionControl {
+		conn.DisableCongestionControl()
+	}
+	conn.OnFail = func() { w.failed = true }
+	conn.OnConnected = func() {
+		w.connected = true
+		if w.cfg.Bytes > 0 {
+			conn.Send(make([]byte, w.cfg.Bytes))
+			if w.cfg.CloseWhenDone {
+				conn.Close()
+			}
+			return
+		}
+		w.pace(tb, tb.sched.Now())
+	}
+	return nil
+}
+
+// pace writes at the offered rate in 1 ms ticks, with bounded buffering
+// so an overloaded connection exerts backpressure instead of growing the
+// send buffer without limit.
+func (w *TCPBulk) pace(tb *Testbed, started time.Duration) {
+	const tick = time.Millisecond
+	const maxBuffered = 512 * 1024
+	perTick := int(w.cfg.RateBitsPerSecond * tick.Seconds() / 8)
+	if perTick <= 0 {
+		perTick = 1
+	}
+	var step func()
+	step = func() {
+		if w.failed || w.closed {
+			return
+		}
+		if w.cfg.Duration > 0 && tb.sched.Now()-started >= w.cfg.Duration {
+			if w.cfg.CloseWhenDone {
+				w.conn.Close()
+			}
+			return
+		}
+		if w.conn.BufferedBytes() < maxBuffered {
+			w.conn.Send(make([]byte, perTick))
+		}
+		tb.sched.After(tick, "tcpbulk.pace", step)
+	}
+	step()
+}
+
+// Connected reports whether the handshake completed.
+func (w *TCPBulk) Connected() bool { return w.connected }
+
+// Failed reports a handshake or connection failure.
+func (w *TCPBulk) Failed() bool { return w.failed }
+
+// DeliveredBytes reports application bytes received in order at the
+// server.
+func (w *TCPBulk) DeliveredBytes() int { return w.delivered }
+
+// GoodputBitsPerSecond reports delivered payload bits divided by the
+// first-to-last-byte interval (0 until two deliveries happen).
+func (w *TCPBulk) GoodputBitsPerSecond() float64 {
+	dt := w.lastByteAt - w.firstByteAt
+	if dt <= 0 || w.delivered == 0 {
+		return 0
+	}
+	return float64(w.delivered*8) / dt.Seconds()
+}
+
+// CWND returns the sender's congestion window in segments.
+func (w *TCPBulk) CWND() int { return w.conn.CWND() }
+
+// Ssthresh returns the sender's slow-start threshold in segments.
+func (w *TCPBulk) Ssthresh() int { return w.conn.Ssthresh() }
+
+// InSlowStart reports the sender's congestion regime.
+func (w *TCPBulk) InSlowStart() bool { return w.conn.InSlowStart() }
+
+// SenderStats returns the client connection's protocol counters.
+func (w *TCPBulk) SenderStats() tcp.Stats { return w.conn.Stats }
+
+// UDPEchoConfig describes the UDP ping/echo workload behind Figure 8's
+// round-trip-latency measurement.
+type UDPEchoConfig struct {
+	// Client and Server name the two hosts.
+	Client, Server string
+	// ServerPort is the echo port (client port is ServerPort+1 unless
+	// ClientPort is set).
+	ServerPort uint16
+	ClientPort uint16
+	// Size is the payload size in bytes (minimum 8 for the sequence
+	// number; default 64).
+	Size int
+	// Interval paces the pings (default 1 ms).
+	Interval time.Duration
+	// Count bounds the pings (0 = until the run ends).
+	Count int
+}
+
+// UDPEcho is a running echo workload handle.
+type UDPEcho struct {
+	cfg     UDPEchoConfig
+	sent    int
+	recvd   int
+	rtts    []time.Duration
+	pending map[uint64]time.Duration
+}
+
+var _ workload = (*UDPEcho)(nil)
+
+// AddUDPEcho stages a UDP echo workload.
+func (tb *Testbed) AddUDPEcho(cfg UDPEchoConfig) (*UDPEcho, error) {
+	if _, ok := tb.byName[cfg.Client]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.Client)
+	}
+	if _, ok := tb.byName[cfg.Server]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.Server)
+	}
+	if cfg.Size < 8 {
+		cfg.Size = 64
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Millisecond
+	}
+	if cfg.ClientPort == 0 {
+		cfg.ClientPort = cfg.ServerPort + 1
+	}
+	w := &UDPEcho{cfg: cfg, pending: make(map[uint64]time.Duration)}
+	tb.workloads = append(tb.workloads, w)
+	return w, nil
+}
+
+func (w *UDPEcho) start(tb *Testbed) error {
+	client := tb.byName[w.cfg.Client]
+	server := tb.byName[w.cfg.Server]
+	srv, err := server.host.UDP.Bind(w.cfg.ServerPort)
+	if err != nil {
+		return err
+	}
+	srv.OnDatagram = func(src packet.IP, srcPort uint16, payload []byte) {
+		_ = srv.SendTo(src, srcPort, payload)
+	}
+	cli, err := client.host.UDP.Bind(w.cfg.ClientPort)
+	if err != nil {
+		return err
+	}
+	cli.OnDatagram = func(_ packet.IP, _ uint16, payload []byte) {
+		if len(payload) < 8 {
+			return
+		}
+		seq := binary.BigEndian.Uint64(payload)
+		sentAt, ok := w.pending[seq]
+		if !ok {
+			return
+		}
+		delete(w.pending, seq)
+		w.recvd++
+		w.rtts = append(w.rtts, tb.sched.Now()-sentAt)
+	}
+	var ping func()
+	ping = func() {
+		if w.cfg.Count > 0 && w.sent >= w.cfg.Count {
+			return
+		}
+		w.sent++
+		seq := uint64(w.sent)
+		payload := make([]byte, w.cfg.Size)
+		binary.BigEndian.PutUint64(payload, seq)
+		w.pending[seq] = tb.sched.Now()
+		_ = cli.SendTo(server.host.IP, w.cfg.ServerPort, payload)
+		tb.sched.After(w.cfg.Interval, "udpecho.ping", ping)
+	}
+	ping()
+	return nil
+}
+
+// Sent reports pings transmitted.
+func (w *UDPEcho) Sent() int { return w.sent }
+
+// Received reports echoes received.
+func (w *UDPEcho) Received() int { return w.recvd }
+
+// RTTs returns all round-trip samples.
+func (w *UDPEcho) RTTs() []time.Duration {
+	out := make([]time.Duration, len(w.rtts))
+	copy(out, w.rtts)
+	return out
+}
+
+// MeanRTT returns the average round-trip time (0 with no samples).
+func (w *UDPEcho) MeanRTT() time.Duration {
+	if len(w.rtts) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, r := range w.rtts {
+		sum += r
+	}
+	return sum / time.Duration(len(w.rtts))
+}
+
+// UDPStreamConfig describes a constant-bit-rate datagram stream (no
+// echo): the kind of traffic Rether's real-time mode exists to protect.
+type UDPStreamConfig struct {
+	// From and To name the hosts.
+	From, To string
+	// Port is the destination port (source is Port+1 unless SrcPort is
+	// set).
+	Port    uint16
+	SrcPort uint16
+	// Size is the datagram payload size (default 512).
+	Size int
+	// Interval paces the stream (default 1 ms).
+	Interval time.Duration
+	// Count bounds the datagrams (0 = until the run ends).
+	Count int
+}
+
+// UDPStream is a running CBR workload handle.
+type UDPStream struct {
+	cfg   UDPStreamConfig
+	sent  int
+	recvd int
+	// inter-arrival tracking for jitter analysis
+	lastAt   time.Duration
+	maxGap   time.Duration
+	firstSet bool
+}
+
+var _ workload = (*UDPStream)(nil)
+
+// AddUDPStream stages a one-way constant-bit-rate datagram stream.
+func (tb *Testbed) AddUDPStream(cfg UDPStreamConfig) (*UDPStream, error) {
+	if _, ok := tb.byName[cfg.From]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.From)
+	}
+	if _, ok := tb.byName[cfg.To]; !ok {
+		return nil, fmt.Errorf("virtualwire: unknown host %q", cfg.To)
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 512
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Millisecond
+	}
+	if cfg.SrcPort == 0 {
+		cfg.SrcPort = cfg.Port + 1
+	}
+	w := &UDPStream{cfg: cfg}
+	tb.workloads = append(tb.workloads, w)
+	return w, nil
+}
+
+func (w *UDPStream) start(tb *Testbed) error {
+	from := tb.byName[w.cfg.From]
+	to := tb.byName[w.cfg.To]
+	sink, err := to.host.UDP.Bind(w.cfg.Port)
+	if err != nil {
+		return err
+	}
+	sink.OnDatagram = func(packet.IP, uint16, []byte) {
+		now := tb.sched.Now()
+		if w.firstSet {
+			if gap := now - w.lastAt; gap > w.maxGap {
+				w.maxGap = gap
+			}
+		}
+		w.firstSet = true
+		w.lastAt = now
+		w.recvd++
+	}
+	src, err := from.host.UDP.Bind(w.cfg.SrcPort)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, w.cfg.Size)
+	var tick func()
+	tick = func() {
+		if w.cfg.Count > 0 && w.sent >= w.cfg.Count {
+			return
+		}
+		w.sent++
+		_ = src.SendTo(to.host.IP, w.cfg.Port, payload)
+		tb.sched.After(w.cfg.Interval, "udpstream.tick", tick)
+	}
+	tick()
+	return nil
+}
+
+// Sent reports datagrams transmitted.
+func (w *UDPStream) Sent() int { return w.sent }
+
+// Received reports datagrams delivered.
+func (w *UDPStream) Received() int { return w.recvd }
+
+// MaxInterArrival reports the largest gap between consecutive deliveries
+// — the real-time metric a Rether reservation is supposed to bound.
+func (w *UDPStream) MaxInterArrival() time.Duration { return w.maxGap }
