@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"virtualwire"
 	"virtualwire/internal/experiments"
 )
 
@@ -34,6 +36,8 @@ func run() error {
 	rates := flag.String("rates", "", "fig 7: comma-separated offered rates in Mbps (default 10..100)")
 	pings := flag.Int("pings", 300, "fig 8: echo round trips per point")
 	filters := flag.String("filters", "", "fig 8: comma-separated filter counts (default 1,5,10,15,20,25)")
+	metricsOut := flag.String("metrics-out", "", "write per-sub-run metrics time series to this JSON file")
+	metricsInterval := flag.Duration("metrics-interval", 50*time.Millisecond, "virtual-time sampling interval for -metrics-out")
 	flag.Parse()
 
 	want7 := *fig == "7" || *fig == "all"
@@ -42,8 +46,23 @@ func run() error {
 		return fmt.Errorf("unknown -fig %q (want 7, 8 or all)", *fig)
 	}
 
+	// With -metrics-out, every sub-run reports its sampled series under a
+	// label like "vw+rll@90Mbps" or "actions@n=10".
+	type labeledSeries struct {
+		Label  string                    `json:"label"`
+		Series virtualwire.MetricsSeries `json:"series"`
+	}
+	var collected []labeledSeries
+	observe := func(label string, tb *virtualwire.Testbed) {
+		collected = append(collected, labeledSeries{Label: label, Series: tb.MetricsSeries()})
+	}
+
 	if want7 {
 		cfg := experiments.Fig7Config{Seed: *seed, Duration: *duration}
+		if *metricsOut != "" {
+			cfg.MetricsInterval = *metricsInterval
+			cfg.Observe = observe
+		}
 		if *rates != "" {
 			rs, err := parseFloats(*rates)
 			if err != nil {
@@ -59,6 +78,10 @@ func run() error {
 	}
 	if want8 {
 		cfg := experiments.Fig8Config{Seed: *seed, Pings: *pings}
+		if *metricsOut != "" {
+			cfg.MetricsInterval = *metricsInterval
+			cfg.Observe = observe
+		}
 		if *filters != "" {
 			fs, err := parseInts(*filters)
 			if err != nil {
@@ -71,6 +94,24 @@ func run() error {
 			return err
 		}
 		fmt.Println(experiments.FormatFig8(pts))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Runs []labeledSeries `json:"runs"`
+		}{Runs: collected}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s (%d sub-runs)\n", *metricsOut, len(collected))
 	}
 	return nil
 }

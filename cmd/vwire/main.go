@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -52,6 +53,8 @@ func run() error {
 	pcapPath := flag.String("pcap", "", "write a tcpdump-compatible capture of the control node's interface to this file")
 	showTables := flag.Bool("tables", false, "print the compiled six tables before running")
 	counters := flag.String("counters", "", "comma-separated node:counter values to print after the run")
+	metricsOut := flag.String("metrics-out", "", "write the sampled metrics time series to this file (.json, .csv or .prom by extension)")
+	metricsInterval := flag.Duration("metrics-interval", 50*time.Millisecond, "virtual-time sampling interval for -metrics-out")
 	flag.Parse()
 
 	if *scriptPath == "" {
@@ -77,6 +80,9 @@ func run() error {
 	}
 	if *showTrace {
 		cfg.TraceCapacity = 100000
+	}
+	if *metricsOut != "" {
+		cfg.MetricsSampleInterval = *metricsInterval
 	}
 	var pcapFile *os.File
 	if *pcapPath != "" {
@@ -187,6 +193,13 @@ func run() error {
 		fmt.Println("--- summary ---")
 		fmt.Print(tb.Summary())
 	}
+	if *metricsOut != "" {
+		if err := writeMetrics(tb, *metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s (%d instruments, %d sampled points)\n",
+			*metricsOut, rep.Metrics.Instruments, rep.Metrics.SampledPoints)
+	}
 	if pcapFile != nil {
 		fmt.Printf("pcap capture written to %s\n", *pcapPath)
 	}
@@ -195,6 +208,27 @@ func run() error {
 	}
 	fmt.Println("scenario PASSED")
 	return nil
+}
+
+// writeMetrics exports the run's metrics series, choosing the format
+// from the file extension (.csv, .prom/.prometheus/.txt, default JSON).
+func writeMetrics(tb *virtualwire.Testbed, path string) error {
+	format := "json"
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		format = "csv"
+	case ".prom", ".prometheus", ".txt":
+		format = "prom"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tb.WriteMetricsFile(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePortPair(s string) (uint16, uint16, error) {

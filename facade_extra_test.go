@@ -126,8 +126,8 @@ func TestTestbedMisuse(t *testing.T) {
 	if err := tb.LoadScript("SCENARIO"); err == nil {
 		t.Error("malformed script accepted")
 	}
-	if err := tb.RunFor(time.Second); err == nil {
-		t.Error("RunFor before Run accepted")
+	if err := tb.RunFor(time.Second); err != nil {
+		t.Errorf("RunFor before Run now builds the testbed itself, got %v", err)
 	}
 	if _, err := New(Config{Medium: MediumKind(99)}); err == nil {
 		t.Error("unknown medium accepted")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"virtualwire/internal/ether"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 	"virtualwire/internal/stack"
@@ -157,6 +158,34 @@ func (e *Engine) Active() bool { return e.active }
 
 // Failed reports whether a FAIL action has crashed this node.
 func (e *Engine) Failed() bool { return e.failed }
+
+// Snapshot implements the uniform metrics hook: classification work,
+// fault injection counts and control-plane traffic.
+func (e *Engine) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("packets_intercepted", e.Stats.PacketsIntercepted)
+	sn.Counter("packets_matched", e.Stats.PacketsMatched)
+	sn.Counter("counter_updates", e.Stats.CounterUpdates)
+	sn.Counter("term_evals", e.Stats.TermEvals)
+	sn.Counter("cond_evals", e.Stats.CondEvals)
+	sn.Counter("actions_fired", e.Stats.ActionsFired)
+	sn.Counter("drops", e.Stats.Drops)
+	sn.Counter("delays", e.Stats.Delays)
+	sn.Counter("dups", e.Stats.Dups)
+	sn.Counter("modifies", e.Stats.Modifies)
+	sn.Counter("reorders", e.Stats.Reorders)
+	sn.Counter("fail_consumed", e.Stats.FailConsumed)
+	sn.Counter("ctl_sent", e.Stats.CtlSent)
+	sn.Counter("ctl_rcvd", e.Stats.CtlRcvd)
+	sn.Counter("ctl_bytes", e.Stats.CtlBytes)
+	sn.Counter("faults_injected", uint64(len(e.faultLog)))
+	if e.failed {
+		sn.Gauge("failed", 1)
+	} else {
+		sn.Gauge("failed", 0)
+	}
+	return sn
+}
 
 // CounterValue returns a counter's current value at this engine (the
 // authoritative value when the counter is homed here).

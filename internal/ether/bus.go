@@ -3,6 +3,7 @@ package ether
 import (
 	"time"
 
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/sim"
 )
 
@@ -55,6 +56,12 @@ type SharedBus struct {
 	TotalCollisions uint64
 	// DeliveredFrames counts successful frame deliveries to any NIC.
 	DeliveredFrames uint64
+	// DeliveredBytes counts bytes across those deliveries.
+	DeliveredBytes uint64
+
+	// busyTime accumulates the virtual time spent serializing frames
+	// that completed successfully, for the utilization gauge.
+	busyTime time.Duration
 }
 
 var _ Medium = (*SharedBus)(nil)
@@ -196,6 +203,7 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 	now := b.sched.Now()
 	ifg := bitTime(IFGBits, b.cfg.BitsPerSecond)
 	b.idleAt = now + ifg
+	b.busyTime += now - tx.start
 	fr := tx.nic.dequeue()
 	tx.nic.txDone(fr)
 
@@ -213,6 +221,7 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 		dstNIC := dst
 		b.sched.After(b.cfg.Propagation, "bus.deliver", func() {
 			b.DeliveredFrames++
+			b.DeliveredBytes += uint64(len(cp.Data))
 			dstNIC.deliver(cp)
 		})
 	}
@@ -224,6 +233,23 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 	if len(b.waiting) > 0 {
 		b.scheduleRelease()
 	}
+}
+
+// Snapshot implements the uniform metrics hook: segment counters plus a
+// utilization gauge (fraction of elapsed virtual time the wire spent
+// serializing successful transmissions — collision episodes excluded).
+func (b *SharedBus) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("collisions", b.TotalCollisions)
+	sn.Counter("delivered_frames", b.DeliveredFrames)
+	sn.Counter("delivered_bytes", b.DeliveredBytes)
+	sn.Gauge("stations", float64(len(b.nics)))
+	if now := b.sched.Now(); now > 0 {
+		sn.Gauge("utilization", float64(b.busyTime)/float64(now))
+	} else {
+		sn.Gauge("utilization", 0)
+	}
+	return sn
 }
 
 // corrupts decides whether a frame of the given wire length suffers at

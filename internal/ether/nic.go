@@ -1,6 +1,7 @@
 package ether
 
 import (
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 )
@@ -94,6 +95,22 @@ func (n *NIC) Send(fr *Frame) bool {
 		n.medium.kick(n)
 	}
 	return true
+}
+
+// Snapshot implements the uniform metrics hook: every Stats field plus
+// the instantaneous transmit queue depth.
+func (n *NIC) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("tx_frames", n.Stats.TxFrames)
+	sn.Counter("tx_bytes", n.Stats.TxBytes)
+	sn.Counter("rx_frames", n.Stats.RxFrames)
+	sn.Counter("rx_bytes", n.Stats.RxBytes)
+	sn.Counter("queue_drops", n.Stats.QueueDrops)
+	sn.Counter("crc_errors", n.Stats.CRCErrors)
+	sn.Counter("collisions", n.Stats.Collisions)
+	sn.Counter("tx_expired", n.Stats.TxExpired)
+	sn.Gauge("txq_len", float64(len(n.txq)))
+	return sn
 }
 
 // head returns the frame at the front of the transmit queue without

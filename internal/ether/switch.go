@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 )
@@ -133,6 +134,33 @@ func (sw *Switch) PortStats(idx int) (Stats, error) {
 		return Stats{}, fmt.Errorf("switch: no port %d", idx)
 	}
 	return sw.ports[idx].nic.Stats, nil
+}
+
+// Snapshot implements the uniform metrics hook: forwarding counters,
+// port-aggregate drops, and a downlink utilization gauge (fraction of the
+// aggregate switch→host capacity spent serializing frames so far).
+func (sw *Switch) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("forwarded_frames", sw.ForwardedFrames)
+	sn.Counter("flooded_frames", sw.FloodedFrames)
+	var drops, txBytes uint64
+	var queued int
+	for _, p := range sw.ports {
+		drops += p.nic.Stats.QueueDrops
+		txBytes += p.nic.Stats.TxBytes
+		queued += len(p.nic.txq)
+	}
+	sn.Counter("port_queue_drops", drops)
+	sn.Gauge("port_queued_frames", float64(queued))
+	sn.Gauge("ports", float64(len(sw.ports)))
+	now := sw.sched.Now().Seconds()
+	if now > 0 && len(sw.ports) > 0 {
+		busy := float64(txBytes*8) / sw.cfg.BitsPerSecond
+		sn.Gauge("utilization", busy/(float64(len(sw.ports))*now))
+	} else {
+		sn.Gauge("utilization", 0)
+	}
+	return sn
 }
 
 // LinkConfig parametrizes a full-duplex point-to-point link.

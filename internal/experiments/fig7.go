@@ -27,6 +27,13 @@ type Fig7Config struct {
 	// FullDuplex switches the port segments to full duplex — the
 	// ablation that removes the contention behind the paper's knee.
 	FullDuplex bool
+	// MetricsInterval, when positive, samples each sub-run's metrics
+	// registry at this virtual-time cadence (vwbench's --metrics-out).
+	MetricsInterval time.Duration
+	// Observe, when non-nil, is invoked after each sub-run with a label
+	// like "vw+rll@90Mbps" and the finished testbed, before it is
+	// discarded — the hook metrics collection rides on.
+	Observe func(label string, tb *virtualwire.Testbed)
 }
 
 func (c *Fig7Config) fill() {
@@ -68,15 +75,15 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	out := make([]Fig7Point, 0, len(cfg.OfferedMbps))
 	for i, rate := range cfg.OfferedMbps {
 		seed := cfg.Seed + int64(i)*100
-		base, err := fig7Point(seed+1, rate, cfg, "", false)
+		base, err := fig7Point(seed+1, rate, cfg, "", false, fmt.Sprintf("baseline@%vMbps", rate))
 		if err != nil {
 			return nil, fmt.Errorf("fig7 baseline @%vMbps: %w", rate, err)
 		}
-		vw, err := fig7Point(seed+2, rate, cfg, script, false)
+		vw, err := fig7Point(seed+2, rate, cfg, script, false, fmt.Sprintf("vw@%vMbps", rate))
 		if err != nil {
 			return nil, fmt.Errorf("fig7 vw @%vMbps: %w", rate, err)
 		}
-		vwrll, err := fig7Point(seed+3, rate, cfg, script, true)
+		vwrll, err := fig7Point(seed+3, rate, cfg, script, true, fmt.Sprintf("vw+rll@%vMbps", rate))
 		if err != nil {
 			return nil, fmt.Errorf("fig7 vw+rll @%vMbps: %w", rate, err)
 		}
@@ -90,10 +97,11 @@ func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	return out, nil
 }
 
-func fig7Point(seed int64, offeredMbps float64, cfg Fig7Config, script string, withRLL bool) (float64, error) {
+func fig7Point(seed int64, offeredMbps float64, cfg Fig7Config, script string, withRLL bool, label string) (float64, error) {
 	tbCfg := virtualwire.Config{
-		Seed: seed,
-		RLL:  withRLL,
+		Seed:                  seed,
+		RLL:                   withRLL,
+		MetricsSampleInterval: cfg.MetricsInterval,
 	}
 	if cfg.FullDuplex {
 		tbCfg.Medium = virtualwire.MediumSwitchFullDuplex
@@ -117,6 +125,9 @@ func fig7Point(seed int64, offeredMbps float64, cfg Fig7Config, script string, w
 	// Horizon: pacing window plus drain time.
 	if _, err := tb.Run(cfg.Duration + 5*time.Second); err != nil {
 		return 0, err
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(label, tb)
 	}
 	return bulk.GoodputBitsPerSecond() / 1e6, nil
 }

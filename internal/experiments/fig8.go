@@ -28,6 +28,13 @@ type Fig8Config struct {
 	Seed int64
 	// Cost is the engine cost model (default DefaultCost).
 	Cost *virtualwire.CostModel
+	// MetricsInterval, when positive, samples each sub-run's metrics
+	// registry at this virtual-time cadence (vwbench's --metrics-out).
+	MetricsInterval time.Duration
+	// Observe, when non-nil, is invoked after each sub-run with a label
+	// like "actions@n=10" and the finished testbed, before it is
+	// discarded.
+	Observe func(label string, tb *virtualwire.Testbed)
 }
 
 func (c *Fig8Config) fill() {
@@ -70,7 +77,7 @@ const fig8EchoPort = 9000
 func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 	cfg.fill()
 	// One shared baseline: no VirtualWire, no RLL.
-	baseRTT, err := fig8Point(cfg.Seed+1, cfg, "", false)
+	baseRTT, err := fig8Point(cfg.Seed+1, cfg, "", false, "baseline")
 	if err != nil {
 		return nil, fmt.Errorf("fig8 baseline: %w", err)
 	}
@@ -79,15 +86,15 @@ func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 		seed := cfg.Seed + int64(i+1)*100
 		scriptPlain := fig8Script(n, 0, fig8EchoPort)
 		scriptActs := fig8Script(n, cfg.Actions, fig8EchoPort)
-		rttF, err := fig8Point(seed+1, cfg, scriptPlain, false)
+		rttF, err := fig8Point(seed+1, cfg, scriptPlain, false, fmt.Sprintf("filters@n=%d", n))
 		if err != nil {
 			return nil, fmt.Errorf("fig8 filters n=%d: %w", n, err)
 		}
-		rttA, err := fig8Point(seed+2, cfg, scriptActs, false)
+		rttA, err := fig8Point(seed+2, cfg, scriptActs, false, fmt.Sprintf("actions@n=%d", n))
 		if err != nil {
 			return nil, fmt.Errorf("fig8 actions n=%d: %w", n, err)
 		}
-		rttR, err := fig8Point(seed+3, cfg, scriptActs, true)
+		rttR, err := fig8Point(seed+3, cfg, scriptActs, true, fmt.Sprintf("rll@n=%d", n))
 		if err != nil {
 			return nil, fmt.Errorf("fig8 rll n=%d: %w", n, err)
 		}
@@ -105,8 +112,8 @@ func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 	return out, nil
 }
 
-func fig8Point(seed int64, cfg Fig8Config, script string, withRLL bool) (time.Duration, error) {
-	tbCfg := virtualwire.Config{Seed: seed, RLL: withRLL}
+func fig8Point(seed int64, cfg Fig8Config, script string, withRLL bool, label string) (time.Duration, error) {
+	tbCfg := virtualwire.Config{Seed: seed, RLL: withRLL, MetricsSampleInterval: cfg.MetricsInterval}
 	if script != "" {
 		tbCfg.Cost = *cfg.Cost
 	}
@@ -130,6 +137,9 @@ func fig8Point(seed int64, cfg Fig8Config, script string, withRLL bool) (time.Du
 	}
 	if echo.Received() < cfg.Pings {
 		return 0, fmt.Errorf("echo received %d/%d", echo.Received(), cfg.Pings)
+	}
+	if cfg.Observe != nil {
+		cfg.Observe(label, tb)
 	}
 	return echo.MeanRTT(), nil
 }

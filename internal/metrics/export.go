@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Series is a complete run's worth of metrics: the sampled time series
+// (empty when no sampler ran) plus a final gather taken at export time.
+type Series struct {
+	// Interval is the sampling period (zero when no sampler ran).
+	Interval time.Duration `json:"interval_ns,omitempty"`
+	// Points is the sampled time series, oldest first.
+	Points []Point `json:"points,omitempty"`
+	// FinalAt is the virtual time of the final gather.
+	FinalAt time.Duration `json:"final_at_ns"`
+	// Final is the end-of-run reading of every instrument.
+	Final []Sample `json:"final"`
+}
+
+// WriteJSON writes the series as indented JSON.
+func WriteJSON(w io.Writer, s Series) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the series in long format, one reading per row:
+//
+//	at_seconds,node,layer,name,kind,value
+//
+// Histogram instruments contribute two rows, name_sum and name_count
+// (per-bucket detail is a JSON-export concern). The final gather is the
+// last row group, stamped with FinalAt.
+func WriteCSV(w io.Writer, s Series) error {
+	if _, err := io.WriteString(w, "at_seconds,node,layer,name,kind,value\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if err := writeCSVSamples(w, p.At, p.Samples); err != nil {
+			return err
+		}
+	}
+	return writeCSVSamples(w, s.FinalAt, s.Final)
+}
+
+func writeCSVSamples(w io.Writer, at time.Duration, samples []Sample) error {
+	for _, sm := range samples {
+		if sm.Kind == KindHistogram {
+			if err := csvRow(w, at, sm.Node, sm.Layer, sm.Name+"_sum", sm.Kind, sm.Sum); err != nil {
+				return err
+			}
+			if err := csvRow(w, at, sm.Node, sm.Layer, sm.Name+"_count", sm.Kind, float64(sm.Count)); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := csvRow(w, at, sm.Node, sm.Layer, sm.Name, sm.Kind, sm.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvRow(w io.Writer, at time.Duration, node, layer, name string, kind Kind, v float64) error {
+	_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s\n",
+		strconv.FormatFloat(at.Seconds(), 'f', 9, 64),
+		node, layer, name, kind, formatValue(v))
+	return err
+}
+
+// WritePrometheus writes the samples in the Prometheus text exposition
+// format, one reading per line:
+//
+//	vw_<layer>_<name>{node="...",layer="..."} <value>
+//
+// Histograms expand to the conventional _bucket/_sum/_count triplet with
+// cumulative le labels.
+func WritePrometheus(w io.Writer, samples []Sample) error {
+	for _, s := range samples {
+		name := promName(s.Layer, s.Name)
+		labels := fmt.Sprintf(`node=%q,layer=%q`, s.Node, s.Layer)
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n",
+					name, labels, formatValue(b.Le), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatValue(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName builds a metric name from the layer and instrument name,
+// replacing every character Prometheus disallows with an underscore.
+func promName(layer, name string) string {
+	var b strings.Builder
+	b.WriteString("vw_")
+	sanitizeInto(&b, layer)
+	b.WriteByte('_')
+	sanitizeInto(&b, name)
+	return b.String()
+}
+
+func sanitizeInto(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9' && b.Len() > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package metrics is the unified observability layer for the simulated
+// testbed: a lightweight registry of typed instruments (counters, gauges,
+// histograms) keyed by (node, layer, name), a virtual-time sampler that
+// records periodic snapshots into a ring of time-series points, and
+// exporters to JSON, CSV and Prometheus text format.
+//
+// The package deliberately depends only on the standard library so that
+// every other internal package — including the simulation core itself —
+// can implement the uniform hook
+//
+//	Snapshot() metrics.Snapshot
+//
+// without an import cycle. Layers that keep their own cumulative Stats
+// structs expose them through that hook as pull sources; code that wants
+// push-style instruments (for example a workload observing RTT samples
+// into a histogram) creates them directly on the Registry.
+//
+// Everything here runs inside the single-goroutine simulation, so the
+// registry is intentionally lock-free: determinism comes from the event
+// scheduler, and Gather sorts by key so exports are byte-stable across
+// registration orders.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the instrument type.
+type Kind uint8
+
+// Instrument kinds.
+const (
+	// KindCounter is a monotonically non-decreasing cumulative count.
+	KindCounter Kind = iota + 1
+	// KindGauge is an instantaneous value that may move both ways.
+	KindGauge
+	// KindHistogram is a bucketed distribution of observations.
+	KindHistogram
+)
+
+// String names the kind for exports.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its lowercase name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Key identifies one instrument: which host, which protocol layer, which
+// quantity. Testbed-global instruments (the scheduler, the medium) use a
+// sentinel node name such as "testbed".
+type Key struct {
+	Node  string
+	Layer string
+	Name  string
+}
+
+func (k Key) less(o Key) bool {
+	if k.Node != o.Node {
+		return k.Node < o.Node
+	}
+	if k.Layer != o.Layer {
+		return k.Layer < o.Layer
+	}
+	return k.Name < o.Name
+}
+
+// Counter is a cumulative monotone count.
+type Counter struct{ v float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(d float64) {
+	if d > 0 {
+		c.v += d
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is an instantaneous value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add moves the value by d (either direction).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// <= Le.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper edges in
+// ascending order; observations beyond the last bound land in the
+// implicit +Inf bucket (reported via Count).
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a standalone histogram (the Registry constructor is
+// the usual entry point).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum reports the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Buckets returns the cumulative bucket counts (excluding +Inf, which is
+// Count).
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, len(h.bounds))
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		out[i] = Bucket{Le: b, Count: cum}
+	}
+	return out
+}
+
+// SnapshotValue is one named reading inside a Snapshot.
+type SnapshotValue struct {
+	Name  string
+	Kind  Kind
+	Value float64
+}
+
+// Snapshot is one layer's instrument readings at a point in virtual
+// time — the uniform currency every layer's Snapshot() hook returns.
+// Build one with the Counter and Gauge helpers; order is preserved.
+type Snapshot struct {
+	Values []SnapshotValue
+}
+
+// Counter appends a cumulative count reading.
+func (s *Snapshot) Counter(name string, v uint64) {
+	s.Values = append(s.Values, SnapshotValue{Name: name, Kind: KindCounter, Value: float64(v)})
+}
+
+// Gauge appends an instantaneous reading.
+func (s *Snapshot) Gauge(name string, v float64) {
+	s.Values = append(s.Values, SnapshotValue{Name: name, Kind: KindGauge, Value: v})
+}
+
+// Get looks a reading up by name.
+func (s Snapshot) Get(name string) (float64, bool) {
+	for _, v := range s.Values {
+		if v.Name == name {
+			return v.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sample is one gathered reading, ready for export. Counters and gauges
+// carry Value; histograms carry Count, Sum and Buckets instead.
+type Sample struct {
+	Node    string   `json:"node"`
+	Layer   string   `json:"layer"`
+	Name    string   `json:"name"`
+	Kind    Kind     `json:"kind"`
+	Value   float64  `json:"value"`
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+type instrument struct {
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+type source struct {
+	node, layer string
+	fn          func() Snapshot
+}
+
+// Registry holds every instrument and pull source of one testbed.
+// Construct with NewRegistry; the zero value is not usable.
+type Registry struct {
+	instruments map[Key]*instrument
+	sources     []source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{instruments: make(map[Key]*instrument)}
+}
+
+// Counter returns the counter for key, creating it on first use. It
+// panics if the key is already registered with a different kind — that is
+// a programming error, not a runtime condition.
+func (r *Registry) Counter(node, layer, name string) *Counter {
+	in := r.get(Key{node, layer, name}, KindCounter)
+	if in.c == nil {
+		in.c = &Counter{}
+	}
+	return in.c
+}
+
+// Gauge returns the gauge for key, creating it on first use.
+func (r *Registry) Gauge(node, layer, name string) *Gauge {
+	in := r.get(Key{node, layer, name}, KindGauge)
+	if in.g == nil {
+		in.g = &Gauge{}
+	}
+	return in.g
+}
+
+// Histogram returns the histogram for key, creating it with the given
+// bucket upper bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(node, layer, name string, bounds []float64) *Histogram {
+	in := r.get(Key{node, layer, name}, KindHistogram)
+	if in.h == nil {
+		in.h = NewHistogram(bounds)
+	}
+	return in.h
+}
+
+func (r *Registry) get(k Key, kind Kind) *instrument {
+	in, ok := r.instruments[k]
+	if !ok {
+		in = &instrument{kind: kind}
+		r.instruments[k] = in
+		return in
+	}
+	if in.kind != kind {
+		panic(fmt.Sprintf("metrics: %v/%v/%v registered as %v, requested as %v",
+			k.Node, k.Layer, k.Name, in.kind, kind))
+	}
+	return in
+}
+
+// RegisterSource installs a pull hook: fn is invoked on every Gather and
+// its readings are reported under (node, layer).
+func (r *Registry) RegisterSource(node, layer string, fn func() Snapshot) {
+	r.sources = append(r.sources, source{node: node, layer: layer, fn: fn})
+}
+
+// Instruments reports how many direct instruments exist (pull sources
+// contribute to Gather but are not counted until gathered).
+func (r *Registry) Instruments() int { return len(r.instruments) }
+
+// Gather reads every direct instrument and pull source and returns the
+// samples sorted by (node, layer, name) — byte-stable regardless of
+// registration order, which keeps sampled series and exports
+// deterministic.
+func (r *Registry) Gather() []Sample {
+	out := make([]Sample, 0, len(r.instruments)+len(r.sources)*8)
+	for k, in := range r.instruments {
+		s := Sample{Node: k.Node, Layer: k.Layer, Name: k.Name, Kind: in.kind}
+		switch in.kind {
+		case KindCounter:
+			s.Value = in.c.Value()
+		case KindGauge:
+			s.Value = in.g.Value()
+		case KindHistogram:
+			s.Count = in.h.Count()
+			s.Sum = in.h.Sum()
+			s.Buckets = in.h.Buckets()
+		}
+		out = append(out, s)
+	}
+	for _, src := range r.sources {
+		sn := src.fn()
+		for _, v := range sn.Values {
+			out = append(out, Sample{
+				Node: src.node, Layer: src.layer, Name: v.Name,
+				Kind: v.Kind, Value: v.Value,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a := Key{out[i].Node, out[i].Layer, out[i].Name}
+		b := Key{out[j].Node, out[j].Layer, out[j].Name}
+		return a.less(b)
+	})
+	return out
+}

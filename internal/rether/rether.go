@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"virtualwire/internal/ether"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 	"virtualwire/internal/stack"
@@ -187,6 +188,33 @@ func (l *Layer) Ring() []packet.MAC {
 
 // Holding reports whether this node currently holds the token.
 func (l *Layer) Holding() bool { return l.holder }
+
+// Snapshot implements the uniform metrics hook: token rotation,
+// membership and reservation counters plus instantaneous queue depths.
+func (l *Layer) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("tokens_sent", l.Stats.TokensSent)
+	sn.Counter("token_retransmissions", l.Stats.TokenRetransmissions)
+	sn.Counter("tokens_received", l.Stats.TokensReceived)
+	sn.Counter("acks_sent", l.Stats.AcksSent)
+	sn.Counter("acks_received", l.Stats.AcksReceived)
+	sn.Counter("stale_tokens", l.Stats.StaleTokens)
+	sn.Counter("nodes_declared_dead", l.Stats.NodesDeclaredDead)
+	sn.Counter("ring_syncs_sent", l.Stats.RingSyncsSent)
+	sn.Counter("ring_syncs_applied", l.Stats.RingSyncsApplied)
+	sn.Counter("token_regenerations", l.Stats.TokenRegenerations)
+	sn.Counter("data_queued_be", l.Stats.DataQueuedBE)
+	sn.Counter("data_queued_rt", l.Stats.DataQueuedRT)
+	sn.Counter("data_sent", l.Stats.DataSent)
+	sn.Counter("data_dropped", l.Stats.DataDropped)
+	sn.Counter("reservations_requested", l.Stats.ReservationsRequested)
+	sn.Counter("reservations_granted", l.Stats.ReservationsGranted)
+	sn.Counter("reservations_denied", l.Stats.ReservationsDenied)
+	sn.Gauge("ring_size", float64(len(l.ring)))
+	sn.Gauge("be_queue_len", float64(len(l.beQueue)))
+	sn.Gauge("rt_queue_len", float64(len(l.rtQueue)))
+	return sn
+}
 
 // Start begins protocol operation: ring index 0 creates the initial
 // token, everyone arms the regeneration timer.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"virtualwire/internal/ether"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 	"virtualwire/internal/stack"
@@ -136,6 +137,30 @@ func New(sched *sim.Scheduler, mac packet.MAC, cfg Config) *RLL {
 		send:  make(map[packet.MAC]*peerSend),
 		recv:  make(map[packet.MAC]*peerRecv),
 	}
+}
+
+// Snapshot implements the uniform metrics hook: every Stats field plus
+// the instantaneous window occupancy summed over peers.
+func (r *RLL) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("data_sent", r.Stats.DataSent)
+	sn.Counter("data_retrans", r.Stats.DataRetrans)
+	sn.Counter("acks_sent", r.Stats.AcksSent)
+	sn.Counter("delivered", r.Stats.Delivered)
+	sn.Counter("duplicates", r.Stats.Duplicates)
+	sn.Counter("out_of_order", r.Stats.OutOfOrder)
+	sn.Counter("crc_drops", r.Stats.CRCDrops)
+	sn.Counter("gave_up", r.Stats.GaveUp)
+	sn.Counter("unreliable", r.Stats.Unreliable)
+	sn.Counter("window_stalls", r.Stats.BlockedQueued)
+	var inflight, backlog int
+	for _, ps := range r.send {
+		inflight += len(ps.inflight)
+		backlog += len(ps.backlog)
+	}
+	sn.Gauge("inflight_frames", float64(inflight))
+	sn.Gauge("backlog_frames", float64(backlog))
+	return sn
 }
 
 // SetBelow implements stack.Layer.

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"virtualwire/internal/metrics"
 )
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
@@ -129,6 +131,16 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // Pending reports how many events are scheduled and not yet fired
 // (including cancelled events that have not been reaped).
 func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Snapshot implements the uniform metrics hook for the scheduler itself:
+// how much work the simulation has done and how much is queued.
+func (s *Scheduler) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("events_executed", s.executed)
+	sn.Counter("events_scheduled", s.seq)
+	sn.Gauge("events_pending", float64(len(s.queue)))
+	return sn
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past (t < Now) is a programming error and fires immediately at Now

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"virtualwire/internal/ether"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 )
@@ -93,6 +94,15 @@ func newIPStack(h *Host) *IPStack {
 		handlers:    make(map[byte]func(src, dst packet.IP, payload []byte)),
 		rawHandlers: make(map[uint16]func(fr *ether.Frame)),
 	}
+}
+
+// Snapshot implements the uniform metrics hook for the IP layer.
+func (s *IPStack) Snapshot() metrics.Snapshot {
+	var sn metrics.Snapshot
+	sn.Counter("rx_packets", s.RxPackets)
+	sn.Counter("rx_header_errors", s.RxHeaderErrors)
+	sn.Counter("rx_no_handler", s.RxNoHandler)
+	return sn
 }
 
 // Register installs the handler for an IP protocol number.

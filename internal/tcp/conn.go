@@ -20,6 +20,19 @@ type Stats struct {
 	DupAcksRcvd     uint64
 }
 
+// add folds another connection's counters into s.
+func (s *Stats) add(o Stats) {
+	s.SegmentsSent += o.SegmentsSent
+	s.SegmentsRcvd += o.SegmentsRcvd
+	s.BytesSent += o.BytesSent
+	s.BytesRcvd += o.BytesRcvd
+	s.Retransmissions += o.Retransmissions
+	s.FastRetransmits += o.FastRetransmits
+	s.Timeouts += o.Timeouts
+	s.SynRetries += o.SynRetries
+	s.DupAcksRcvd += o.DupAcksRcvd
+}
+
 type rtxSeg struct {
 	seq  uint32
 	data []byte
@@ -202,7 +215,7 @@ func (c *Conn) enterLoss() {
 func (c *Conn) fail() {
 	c.state = StateClosed
 	c.rtx.Disarm()
-	delete(c.stack.conns, c.key)
+	c.stack.retire(c)
 	if c.OnFail != nil {
 		c.OnFail()
 	}
@@ -367,7 +380,7 @@ func (c *Conn) consumeFin() {
 		c.state = StateCloseWait
 	case StateFinWait:
 		c.state = StateClosed
-		delete(c.stack.conns, c.key)
+		c.stack.retire(c)
 	}
 	if c.OnClose != nil {
 		c.OnClose()
@@ -381,7 +394,7 @@ func (c *Conn) finAcked() {
 	case StateCloseWait, StateClosing:
 		c.state = StateClosed
 		c.rtx.Disarm()
-		delete(c.stack.conns, c.key)
+		c.stack.retire(c)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"virtualwire/internal/ether"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/sim"
 	"virtualwire/internal/stack"
@@ -97,6 +98,9 @@ type Stack struct {
 	conns     map[connKey]*Conn
 	listeners map[uint16]*Listener
 	isn       uint32
+	// retired accumulates the counters of connections that have been
+	// torn down, so stack-level totals stay monotone across closes.
+	retired Stats
 }
 
 // NewStack attaches a TCP endpoint to the host and registers it for IP
@@ -200,6 +204,54 @@ func (s *Stack) deliver(src, dst packet.IP, payload []byte) {
 			Seq: hdr.Ack, Flags: packet.TCPRst,
 		}, nil)
 	}
+}
+
+// retire removes a torn-down connection, folding its counters into the
+// stack totals first.
+func (s *Stack) retire(c *Conn) {
+	if _, ok := s.conns[c.key]; !ok {
+		return
+	}
+	s.retired.add(c.Stats)
+	delete(s.conns, c.key)
+}
+
+// TotalStats aggregates protocol counters over live and retired
+// connections.
+func (s *Stack) TotalStats() Stats {
+	total := s.retired
+	for _, c := range s.conns {
+		total.add(c.Stats)
+	}
+	return total
+}
+
+// Snapshot implements the uniform metrics hook: aggregate protocol
+// counters plus instantaneous congestion state summed over live
+// connections.
+func (s *Stack) Snapshot() metrics.Snapshot {
+	st := s.TotalStats()
+	var sn metrics.Snapshot
+	sn.Counter("segments_sent", st.SegmentsSent)
+	sn.Counter("segments_rcvd", st.SegmentsRcvd)
+	sn.Counter("bytes_sent", st.BytesSent)
+	sn.Counter("bytes_rcvd", st.BytesRcvd)
+	sn.Counter("retransmissions", st.Retransmissions)
+	sn.Counter("fast_retransmits", st.FastRetransmits)
+	sn.Counter("timeouts", st.Timeouts)
+	sn.Counter("syn_retries", st.SynRetries)
+	sn.Counter("dup_acks_rcvd", st.DupAcksRcvd)
+	var cwnd, ssthresh, buffered int
+	for _, c := range s.conns {
+		cwnd += c.cwnd
+		ssthresh += c.ssthresh
+		buffered += len(c.sndBuf)
+	}
+	sn.Gauge("conns", float64(len(s.conns)))
+	sn.Gauge("cwnd_segments", float64(cwnd))
+	sn.Gauge("ssthresh_segments", float64(ssthresh))
+	sn.Gauge("send_buffered_bytes", float64(buffered))
+	return sn
 }
 
 func (s *Stack) sendRaw(dst packet.IP, hdr packet.TCP, data []byte) {

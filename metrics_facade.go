@@ -1,0 +1,184 @@
+package virtualwire
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"virtualwire/internal/metrics"
+)
+
+// Metrics aliases re-exported so callers can consume the observability
+// layer without importing internal packages.
+type (
+	// MetricsRegistry is the testbed's live instrument registry (see
+	// Testbed.Metrics).
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is one layer's instrument readings (see
+	// Node.Snapshot).
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsSample is one gathered reading, ready for export.
+	MetricsSample = metrics.Sample
+	// MetricsPoint is one sampled instant of the whole registry.
+	MetricsPoint = metrics.Point
+	// MetricsSeries is a run's sampled time series plus final readings.
+	MetricsSeries = metrics.Series
+)
+
+// MetricsNode is the sentinel node label for testbed-global instruments
+// (the scheduler and the medium).
+const MetricsNode = "testbed"
+
+// Metrics returns the live instrument registry. Layer sources are
+// registered when the testbed is built (first Run or RunFor); direct
+// instruments (for example workload histograms) may be created on it at
+// any time.
+func (tb *Testbed) Metrics() *MetricsRegistry { return tb.reg }
+
+// MetricsSeries returns the run's sampled time series (empty unless
+// Config.MetricsSampleInterval was set) together with a final gather of
+// every instrument at the current virtual time.
+func (tb *Testbed) MetricsSeries() MetricsSeries {
+	s := MetricsSeries{FinalAt: tb.sched.Now(), Final: tb.reg.Gather()}
+	if tb.sampler != nil {
+		s.Interval = tb.sampler.Interval()
+		s.Points = tb.sampler.Points()
+	}
+	return s
+}
+
+// WriteMetricsJSON writes a series as indented JSON.
+func WriteMetricsJSON(w io.Writer, s MetricsSeries) error { return metrics.WriteJSON(w, s) }
+
+// WriteMetricsCSV writes a series in long CSV format.
+func WriteMetricsCSV(w io.Writer, s MetricsSeries) error { return metrics.WriteCSV(w, s) }
+
+// WriteMetricsPrometheus writes samples in the Prometheus text
+// exposition format (one name{node=...,layer=...} value line each).
+func WriteMetricsPrometheus(w io.Writer, samples []MetricsSample) error {
+	return metrics.WritePrometheus(w, samples)
+}
+
+// MetricsSummary condenses the registry at run end for the Report.
+type MetricsSummary struct {
+	// Instruments is the number of distinct readings gathered.
+	Instruments int
+	// SampledPoints is how many time-series points the sampler holds.
+	SampledPoints int
+	// SampleInterval echoes Config.MetricsSampleInterval.
+	SampleInterval time.Duration
+	// Totals sums the final counter readings across nodes, keyed
+	// "layer/name" (gauges and histograms are omitted: summing
+	// instantaneous values across nodes rarely means anything).
+	Totals map[string]float64
+}
+
+func (tb *Testbed) metricsSummary() MetricsSummary {
+	final := tb.reg.Gather()
+	sum := MetricsSummary{
+		Instruments: len(final),
+		Totals:      make(map[string]float64),
+	}
+	for _, s := range final {
+		if s.Kind == metrics.KindCounter {
+			sum.Totals[s.Layer+"/"+s.Name] += s.Value
+		}
+	}
+	if tb.sampler != nil {
+		sum.SampledPoints = tb.sampler.Len()
+		sum.SampleInterval = tb.sampler.Interval()
+	}
+	return sum
+}
+
+// Snapshot returns this node's current instrument readings for one
+// layer. Valid layers are "engine", "nic", "ip", "tcp", "rll" and
+// "rether"; ok is false for a layer the node does not run (and for "tcp"
+// before the testbed is built). This is the uniform replacement for the
+// per-layer one-off accessors (EngineStats, RetherRingSize, ...).
+func (n *Node) Snapshot(layer string) (MetricsSnapshot, bool) {
+	switch layer {
+	case "engine":
+		return n.engine.Snapshot(), true
+	case "nic":
+		return n.host.NIC.Snapshot(), true
+	case "ip":
+		return n.host.IPv4.Snapshot(), true
+	case "tcp":
+		if n.tcp != nil {
+			return n.tcp.Snapshot(), true
+		}
+	case "rll":
+		if n.rll != nil {
+			return n.rll.Snapshot(), true
+		}
+	case "rether":
+		if n.rether != nil {
+			return n.rether.Snapshot(), true
+		}
+	}
+	return MetricsSnapshot{}, false
+}
+
+// SnapshotLayers lists the layers Node.Snapshot can report for this node
+// right now.
+func (n *Node) SnapshotLayers() []string {
+	layers := []string{"engine", "nic", "ip"}
+	if n.tcp != nil {
+		layers = append(layers, "tcp")
+	}
+	if n.rll != nil {
+		layers = append(layers, "rll")
+	}
+	if n.rether != nil {
+		layers = append(layers, "rether")
+	}
+	return layers
+}
+
+// registerMetricSources wires every built layer into the registry with
+// the uniform Snapshot hook; called once from build().
+func (tb *Testbed) registerMetricSources() {
+	tb.reg.RegisterSource(MetricsNode, "scheduler", tb.sched.Snapshot)
+	if tb.sw != nil {
+		tb.reg.RegisterSource(MetricsNode, "switch", tb.sw.Snapshot)
+	}
+	if tb.bus != nil {
+		tb.reg.RegisterSource(MetricsNode, "bus", tb.bus.Snapshot)
+	}
+	for _, n := range tb.nodes {
+		tb.reg.RegisterSource(n.name, "nic", n.host.NIC.Snapshot)
+		tb.reg.RegisterSource(n.name, "ip", n.host.IPv4.Snapshot)
+		tb.reg.RegisterSource(n.name, "engine", n.engine.Snapshot)
+		tb.reg.RegisterSource(n.name, "tcp", n.tcp.Snapshot)
+		if n.rll != nil {
+			tb.reg.RegisterSource(n.name, "rll", n.rll.Snapshot)
+		}
+		if n.rether != nil {
+			tb.reg.RegisterSource(n.name, "rether", n.rether.Snapshot)
+		}
+	}
+	if tb.cfg.MetricsSampleInterval > 0 {
+		tb.sampler = metrics.NewSampler(tb.reg,
+			tb.cfg.MetricsSampleInterval, tb.cfg.MetricsRingCapacity,
+			tb.sched.Now,
+			func(d time.Duration, fn func()) { tb.sched.After(d, "metrics.sample", fn) })
+		tb.sampler.Start()
+	}
+}
+
+// WriteMetricsFile writes the current series to w in the named format:
+// "json", "csv" or "prom"/"prometheus" (the latter exports only the
+// final gather, as Prometheus text carries no timestamps here).
+func (tb *Testbed) WriteMetricsFile(w io.Writer, format string) error {
+	s := tb.MetricsSeries()
+	switch format {
+	case "json":
+		return metrics.WriteJSON(w, s)
+	case "csv":
+		return metrics.WriteCSV(w, s)
+	case "prom", "prometheus":
+		return metrics.WritePrometheus(w, s.Final)
+	}
+	return fmt.Errorf("virtualwire: unknown metrics format %q (want json, csv or prom)", format)
+}

@@ -1,0 +1,220 @@
+package virtualwire
+
+import (
+	"bytes"
+	"reflect"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runRetransmission builds and runs the tcp_retransmission.fsl scenario
+// with the given config overrides applied on top of the standard setup.
+func runRetransmission(t *testing.T, cfg Config) (*Testbed, Report) {
+	t.Helper()
+	script := readScript(t, "tcp_retransmission.fsl")
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNodesFromScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddTCPBulk(TCPBulkConfig{
+		From: "node1", To: "node2",
+		SrcPort: 0x6000, DstPort: 0x4000, Bytes: 64 * 1024,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, rep
+}
+
+// TestReportCarriesFaultsAndErrors asserts the enriched Report agrees
+// with the legacy accessors it supersedes.
+func TestReportCarriesFaultsAndErrors(t *testing.T) {
+	tb, rep := runRetransmission(t, Config{Seed: 71})
+	if len(rep.Faults) == 0 {
+		t.Fatal("Report.Faults is empty on a fault-injecting scenario")
+	}
+	if !reflect.DeepEqual(rep.Faults, tb.InjectedFaults()) {
+		t.Errorf("Report.Faults diverges from InjectedFaults():\n%v\nvs\n%v",
+			rep.Faults, tb.InjectedFaults())
+	}
+	legacyErrs := tb.ScenarioResult().Errors
+	if len(rep.Errors) != len(legacyErrs) {
+		t.Fatalf("Report.Errors has %d entries, ScenarioResult().Errors %d",
+			len(rep.Errors), len(legacyErrs))
+	}
+	for i := range rep.Errors {
+		if !reflect.DeepEqual(rep.Errors[i], legacyErrs[i]) {
+			t.Errorf("Report.Errors[%d] = %v, legacy %v", i, rep.Errors[i], legacyErrs[i])
+		}
+	}
+	if !sort.SliceIsSorted(rep.Faults, func(i, j int) bool {
+		if rep.Faults[i].At != rep.Faults[j].At {
+			return rep.Faults[i].At < rep.Faults[j].At
+		}
+		return rep.Faults[i].Node < rep.Faults[j].Node
+	}) {
+		t.Errorf("Report.Faults not sorted by (At, Node): %v", rep.Faults)
+	}
+	if rep.Metrics.Instruments == 0 {
+		t.Error("Report.Metrics gathered zero instruments")
+	}
+	if rep.Metrics.Totals["engine/faults_injected"] == 0 {
+		t.Errorf("Totals[engine/faults_injected] = %v, want > 0", rep.Metrics.Totals)
+	}
+}
+
+// TestMetricsSamplingEndToEnd enables the virtual-time sampler and
+// checks the gathered series covers every layer the issue promises:
+// scheduler, NIC, TCP and engine instruments.
+func TestMetricsSamplingEndToEnd(t *testing.T) {
+	tb, rep := runRetransmission(t, Config{
+		Seed:                  72,
+		MetricsSampleInterval: 10 * time.Millisecond,
+	})
+	s := tb.MetricsSeries()
+	if len(s.Points) == 0 {
+		t.Fatal("sampler recorded no points")
+	}
+	if s.Interval != 10*time.Millisecond {
+		t.Errorf("series interval = %v", s.Interval)
+	}
+	if rep.Metrics.SampledPoints != len(s.Points) {
+		t.Errorf("Report.Metrics.SampledPoints = %d, series has %d",
+			rep.Metrics.SampledPoints, len(s.Points))
+	}
+	layers := map[string]bool{}
+	for _, sm := range s.Final {
+		layers[sm.Layer] = true
+	}
+	for _, want := range []string{"scheduler", "nic", "tcp", "engine", "ip", "switch"} {
+		if !layers[want] {
+			t.Errorf("final gather is missing layer %q (have %v)", want, layers)
+		}
+	}
+	// Monotone counters: a sampled counter never decreases over time.
+	type key struct{ node, layer, name string }
+	last := map[key]float64{}
+	for _, p := range s.Points {
+		for _, sm := range p.Samples {
+			if sm.Kind.String() != "counter" {
+				continue
+			}
+			k := key{sm.Node, sm.Layer, sm.Name}
+			if sm.Value < last[k] {
+				t.Fatalf("counter %v decreased: %v -> %v at %v", k, last[k], sm.Value, p.At)
+			}
+			last[k] = sm.Value
+		}
+	}
+	// Sampled points land on interval multiples of virtual time.
+	for _, p := range s.Points {
+		if p.At%(10*time.Millisecond) != 0 {
+			t.Errorf("sample at %v is off the 10ms grid", p.At)
+		}
+	}
+}
+
+// TestPrometheusExportShape validates every emitted line against the
+// name{node="...",layer="..."} value contract.
+func TestPrometheusExportShape(t *testing.T) {
+	tb, _ := runRetransmission(t, Config{Seed: 73})
+	var buf bytes.Buffer
+	if err := tb.WriteMetricsFile(&buf, "prom"); err != nil {
+		t.Fatal(err)
+	}
+	line := regexp.MustCompile(`^vw_[a-zA-Z0-9_]+\{node="[^"]*",layer="[^"]*"(,le="[^"]+")?\} -?[0-9].*$`)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("prometheus export has only %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if !line.MatchString(l) {
+			t.Errorf("malformed prometheus line: %q", l)
+		}
+	}
+}
+
+// TestNodeSnapshotUniform exercises the Node.Snapshot accessor across
+// layers, including absent ones.
+func TestNodeSnapshotUniform(t *testing.T) {
+	tb, _ := runRetransmission(t, Config{Seed: 74})
+	n, ok := tb.Node("node1")
+	if !ok {
+		t.Fatal("node1 missing")
+	}
+	wantLayers := []string{"engine", "nic", "ip", "tcp"}
+	if got := n.SnapshotLayers(); !reflect.DeepEqual(got, wantLayers) {
+		t.Errorf("SnapshotLayers = %v, want %v", got, wantLayers)
+	}
+	for _, layer := range wantLayers {
+		sn, ok := n.Snapshot(layer)
+		if !ok {
+			t.Errorf("Snapshot(%q) not ok", layer)
+			continue
+		}
+		if len(sn.Values) == 0 {
+			t.Errorf("Snapshot(%q) has no values", layer)
+		}
+	}
+	if _, ok := n.Snapshot("rll"); ok {
+		t.Error("Snapshot(rll) ok on a testbed without the RLL")
+	}
+	if _, ok := n.Snapshot("rether"); ok {
+		t.Error("Snapshot(rether) ok without Rether")
+	}
+	if _, ok := n.Snapshot("bogus"); ok {
+		t.Error("Snapshot(bogus) ok")
+	}
+	// The uniform accessor agrees with the deprecated one-offs.
+	es := n.EngineStats()
+	sn, _ := n.Snapshot("engine")
+	if v, ok := sn.Get("packets_intercepted"); !ok || v != float64(es.PacketsIntercepted) {
+		t.Errorf("engine snapshot packets_intercepted = %v, EngineStats = %d", v, es.PacketsIntercepted)
+	}
+}
+
+// TestWorkloadHistogram checks the UDP echo workload publishes its RTT
+// histogram through the registry.
+func TestWorkloadHistogram(t *testing.T) {
+	tb, err := New(Config{Seed: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddHost("a", "00:00:00:00:00:01", "10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddHost("b", "00:00:00:00:00:02", "10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	echo, err := tb.AddUDPEcho(UDPEchoConfig{Client: "a", Server: "b", ServerPort: 7, Count: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if echo.Received() != 20 {
+		t.Fatalf("received %d/20", echo.Received())
+	}
+	for _, s := range tb.Metrics().Gather() {
+		if s.Layer == "workload" && s.Name == "udp_echo_rtt_seconds" {
+			if s.Count != 20 {
+				t.Errorf("rtt histogram count = %d, want 20", s.Count)
+			}
+			return
+		}
+	}
+	t.Error("udp_echo_rtt_seconds histogram not gathered")
+}

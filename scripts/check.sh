@@ -1,0 +1,20 @@
+#!/bin/sh
+# Repository check suite: everything a change must pass before merging.
+# Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "All checks passed."

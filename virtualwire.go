@@ -26,11 +26,13 @@ package virtualwire
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"virtualwire/internal/core"
 	"virtualwire/internal/ether"
 	"virtualwire/internal/fsl"
+	"virtualwire/internal/metrics"
 	"virtualwire/internal/packet"
 	"virtualwire/internal/rether"
 	"virtualwire/internal/rll"
@@ -101,6 +103,13 @@ type Config struct {
 	Pcap io.Writer
 	// PcapNode names the capture point (default: the first host).
 	PcapNode string
+	// MetricsSampleInterval, when positive, samples every registered
+	// instrument at this virtual-time cadence into a ring of time-series
+	// points (read back with MetricsSeries; see docs/OBSERVABILITY.md).
+	MetricsSampleInterval time.Duration
+	// MetricsRingCapacity bounds the sampled points kept (default 4096;
+	// when full the oldest point is overwritten).
+	MetricsRingCapacity int
 }
 
 // Node is one testbed host.
@@ -134,6 +143,9 @@ func (n *Node) Failed() bool { return n.engine.Failed() }
 
 // RetherRingSize reports the node's current ring membership size (0 if
 // Rether is not installed).
+//
+// Deprecated: read the "ring_size" gauge of Node.Snapshot("rether")
+// instead; this one-off accessor is kept for compatibility.
 func (n *Node) RetherRingSize() int {
 	if n.rether == nil {
 		return 0
@@ -159,6 +171,9 @@ func (n *Node) RequestRTSlots(slots int, cb func(granted bool, slots int)) error
 }
 
 // EngineStats returns a snapshot of the node's engine counters.
+//
+// Deprecated: use Node.Snapshot("engine") for the uniform metrics view;
+// this one-off accessor is kept for compatibility.
 func (n *Node) EngineStats() core.EngineStats { return n.engine.Stats }
 
 // InjectedFault describes one fault an engine applied, for reports.
@@ -170,7 +185,9 @@ type InjectedFault struct {
 }
 
 // InjectedFaults returns every fault applied across the testbed, merged
-// in time order — the run's injection journal.
+// in time order (ties broken by node name) — the run's injection
+// journal. The Report returned by Run carries the same data in
+// Report.Faults; this accessor remains as a thin delegate.
 func (tb *Testbed) InjectedFaults() []InjectedFault {
 	var out []InjectedFault
 	for _, n := range tb.nodes {
@@ -184,11 +201,14 @@ func (tb *Testbed) InjectedFaults() []InjectedFault {
 			})
 		}
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	// Per-engine logs are already time-ordered; a stable sort with a
+	// node-name tie-break merges them deterministically.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
 		}
-	}
+		return out[i].Node < out[j].Node
+	})
 	return out
 }
 
@@ -206,6 +226,8 @@ type Testbed struct {
 	prog    *core.Program
 	ctl     *core.Controller
 	tracing *trace.Buffer
+	reg     *metrics.Registry
+	sampler *metrics.Sampler
 
 	retherRing []string
 	retherCfg  rether.Config
@@ -232,6 +254,7 @@ func New(cfg Config) (*Testbed, error) {
 		cfg:    cfg,
 		sched:  sim.NewScheduler(cfg.Seed),
 		byName: make(map[string]*Node),
+		reg:    metrics.NewRegistry(),
 	}
 	switch cfg.Medium {
 	case MediumSwitch, MediumSwitchFullDuplex:
@@ -460,6 +483,7 @@ func (tb *Testbed) build() error {
 		}
 		tb.ctl = ctl
 	}
+	tb.registerMetricSources()
 	return nil
 }
 
@@ -482,7 +506,10 @@ func matchesRTStream(fr *ether.Frame, streams []portPair) bool {
 	return false
 }
 
-// Report is the outcome of a Run.
+// Report is the outcome of a Run: one value carrying the full campaign
+// result — verdict, injection journal, flagged errors and a metrics
+// digest — so callers no longer stitch it together from InjectedFaults,
+// ScenarioResult and per-node accessors.
 type Report struct {
 	// Result is the scenario outcome; zero-valued when no script was
 	// loaded.
@@ -495,6 +522,15 @@ type Report struct {
 	Duration time.Duration
 	// Events is the number of simulation events executed.
 	Events uint64
+	// Faults is the run's injection journal, merged across nodes in
+	// time order (the same data Testbed.InjectedFaults returns).
+	Faults []InjectedFault
+	// Errors collects every FLAG_ERR report, in arrival order (the same
+	// data as Result.Errors / Testbed.ScenarioResult).
+	Errors []ErrorReport
+	// Metrics digests the instrument registry at run end; the full
+	// series is available from Testbed.MetricsSeries.
+	Metrics MetricsSummary
 }
 
 // Run builds the testbed (if needed), launches the scenario, starts the
@@ -552,14 +588,19 @@ func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
 	} else {
 		rep.Passed = true
 	}
+	rep.Faults = tb.InjectedFaults()
+	rep.Errors = append([]ErrorReport(nil), rep.Result.Errors...)
+	rep.Metrics = tb.metricsSummary()
 	return rep, nil
 }
 
-// RunFor advances the simulation by d after an initial Run (for staged
-// experiments and examples that inspect intermediate state).
+// RunFor advances the simulation by d. It builds the testbed if needed,
+// so staged experiments can warm traffic up (through the node-level
+// APIs) before Run launches the scenario; note that neither the staged
+// scenario nor the registered workloads start until Run is called.
 func (tb *Testbed) RunFor(d time.Duration) error {
-	if !tb.built {
-		return fmt.Errorf("virtualwire: RunFor before Run")
+	if err := tb.build(); err != nil {
+		return err
 	}
 	return tb.sched.RunUntil(tb.sched.Now() + d)
 }
@@ -586,6 +627,8 @@ func (tb *Testbed) TraceFilter(substrings ...string) []TraceEntry {
 }
 
 // ScenarioResult returns the scenario outcome so far (valid after Run).
+// The Report returned by Run carries the same data in Report.Result and
+// Report.Errors; this accessor remains as a thin delegate.
 func (tb *Testbed) ScenarioResult() Result {
 	if tb.ctl == nil {
 		return Result{}

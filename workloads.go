@@ -220,9 +220,16 @@ func (tb *Testbed) AddUDPEcho(cfg UDPEchoConfig) (*UDPEcho, error) {
 	return w, nil
 }
 
+// echoRTTBuckets are the histogram bucket bounds for the echo RTT
+// distribution, in seconds (100 µs .. 100 ms).
+var echoRTTBuckets = []float64{
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+}
+
 func (w *UDPEcho) start(tb *Testbed) error {
 	client := tb.byName[w.cfg.Client]
 	server := tb.byName[w.cfg.Server]
+	rttHist := tb.reg.Histogram(w.cfg.Client, "workload", "udp_echo_rtt_seconds", echoRTTBuckets)
 	srv, err := server.host.UDP.Bind(w.cfg.ServerPort)
 	if err != nil {
 		return err
@@ -245,7 +252,9 @@ func (w *UDPEcho) start(tb *Testbed) error {
 		}
 		delete(w.pending, seq)
 		w.recvd++
-		w.rtts = append(w.rtts, tb.sched.Now()-sentAt)
+		rtt := tb.sched.Now() - sentAt
+		w.rtts = append(w.rtts, rtt)
+		rttHist.Observe(rtt.Seconds())
 	}
 	var ping func()
 	ping = func() {
