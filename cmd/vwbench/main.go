@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,7 +39,13 @@ func run() error {
 	filters := flag.String("filters", "", "fig 8: comma-separated filter counts (default 1,5,10,15,20,25)")
 	metricsOut := flag.String("metrics-out", "", "write per-sub-run metrics time series to this JSON file")
 	metricsInterval := flag.Duration("metrics-interval", 50*time.Millisecond, "virtual-time sampling interval for -metrics-out")
+	parallel := flag.Int("parallel", 1, "sweep points run concurrently (0 = GOMAXPROCS); results are identical to -parallel 1")
 	flag.Parse()
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	want7 := *fig == "7" || *fig == "all"
 	want8 := *fig == "8" || *fig == "all"
@@ -58,7 +65,7 @@ func run() error {
 	}
 
 	if want7 {
-		cfg := experiments.Fig7Config{Seed: *seed, Duration: *duration}
+		cfg := experiments.Fig7Config{Seed: *seed, Duration: *duration, Parallel: workers}
 		if *metricsOut != "" {
 			cfg.MetricsInterval = *metricsInterval
 			cfg.Observe = observe
@@ -77,7 +84,7 @@ func run() error {
 		fmt.Println(experiments.FormatFig7(pts))
 	}
 	if want8 {
-		cfg := experiments.Fig8Config{Seed: *seed, Pings: *pings}
+		cfg := experiments.Fig8Config{Seed: *seed, Pings: *pings, Parallel: workers}
 		if *metricsOut != "" {
 			cfg.MetricsInterval = *metricsInterval
 			cfg.Observe = observe

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 
 	"virtualwire/internal/ether"
@@ -30,6 +31,19 @@ type Classifier struct {
 	TuplesCompared uint64
 	// FiltersScanned counts filter entries visited.
 	FiltersScanned uint64
+
+	// scratch holds the not-yet-committed variable bindings of the filter
+	// currently being matched. Classification is strictly sequential per
+	// engine, so one reusable slice replaces a per-call allocation on the
+	// interception hot path.
+	scratch []binding
+}
+
+// binding is a variable binding pending commit until the whole filter
+// matches.
+type binding struct {
+	v   VarID
+	val []byte
 }
 
 // NewClassifier builds a classifier over the program's filter table.
@@ -107,53 +121,50 @@ func (c *Classifier) classifyIndexed(fr *ether.Frame) FilterID {
 // new variable bindings.
 func (c *Classifier) matchFilter(i int, fr *ether.Frame) bool {
 	f := &c.filters[i]
-	type binding struct {
-		v   VarID
-		val []byte
-	}
-	var pending []binding
+	pending := c.scratch[:0]
 	for ti := range f.Tuples {
 		tu := &f.Tuples[ti]
 		c.TuplesCompared++
 		end := tu.Off + tu.Len
 		if end > len(fr.Data) {
+			c.scratch = pending
 			return false
 		}
 		field := fr.Data[tu.Off:end]
 		if tu.Var >= 0 {
 			bound := c.vars[tu.Var]
 			if bound == nil {
+				// The copy still allocates, but only on the first
+				// binding of a variable — never per packet.
 				cp := make([]byte, len(field))
 				copy(cp, field)
 				pending = append(pending, binding{tu.Var, cp})
 				continue
 			}
 			if !bytesEqualMasked(field, bound, tu.Mask) {
+				c.scratch = pending
 				return false
 			}
 			continue
 		}
 		if !bytesEqualMasked(field, tu.Pattern, tu.Mask) {
+			c.scratch = pending
 			return false
 		}
 	}
 	for _, b := range pending {
 		c.vars[b.v] = b.val
 	}
+	c.scratch = pending
 	return true
 }
 
 func bytesEqualMasked(got, want, mask []byte) bool {
+	if mask == nil {
+		return bytes.Equal(got, want)
+	}
 	if len(got) != len(want) {
 		return false
-	}
-	if mask == nil {
-		for i := range got {
-			if got[i] != want[i] {
-				return false
-			}
-		}
-		return true
 	}
 	for i := range got {
 		if got[i]&mask[i] != want[i]&mask[i] {

@@ -192,6 +192,7 @@ func benchClassifier(b *testing.B, indexed bool) {
 	c := NewClassifier(p)
 	c.Indexed = indexed
 	fr := tcpFrame(0x4000, 0x6000, 9, 9, packet.TCPAck)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if c.Classify(fr) < 0 {

@@ -110,6 +110,14 @@ type Engine struct {
 	cur          *packetCtx
 	cascadeDepth int
 
+	// ctxScratch and matchScratch are reused across top-level process
+	// calls to keep the interception hot path allocation-free. A nested
+	// interception (an action cascade injecting a frame that re-enters
+	// the engine synchronously, e.g. a reorder release answered inline)
+	// falls back to heap allocation — detected by e.cur being set.
+	ctxScratch   packetCtx
+	matchScratch []CounterID
+
 	initChunks [][]byte
 	initGot    int
 
@@ -367,7 +375,16 @@ func (e *Engine) process(fr *ether.Frame, dir Direction) (consumed bool, cost ti
 		if !okT {
 			to = -1
 		}
-		ctx := &packetCtx{fr: fr, filter: flt, from: from, to: to, dir: dir}
+		var ctx *packetCtx
+		var matched []CounterID
+		nested := e.cur != nil
+		if nested {
+			ctx = &packetCtx{fr: fr, filter: flt, from: from, to: to, dir: dir}
+		} else {
+			ctx = &e.ctxScratch
+			*ctx = packetCtx{fr: fr, filter: flt, from: from, to: to, dir: dir}
+			matched = e.matchScratch[:0]
+		}
 		e.cur = ctx
 		// 1. Counters (before faults: a dropped packet is still
 		// counted, which Figure 5's SYNACK-drop rule relies on).
@@ -376,7 +393,6 @@ func (e *Engine) process(fr *ether.Frame, dir Direction) (consumed bool, cost ti
 		// packet, not retroactively for this one (Figure 5's script
 		// depends on the handshake ACK enabling DATA without being
 		// counted by it).
-		var matched []CounterID
 		for ci := range e.prog.Counters {
 			c := &e.prog.Counters[ci]
 			if c.Kind != CounterEvent || c.Home != e.self || !e.enabled[ci] {
@@ -397,6 +413,9 @@ func (e *Engine) process(fr *ether.Frame, dir Direction) (consumed bool, cost ti
 		e.cur = nil
 		consumed = ctx.consumed
 		dup = ctx.dup
+		if !nested {
+			e.matchScratch = matched[:0]
+		}
 	}
 
 	if e.Cost.enabled() {

@@ -19,6 +19,10 @@ type BusConfig struct {
 	// BitErrorRate is the independent per-bit flip probability applied
 	// to each delivery (default 0: clean wire).
 	BitErrorRate float64
+	// Pool, when non-nil, recycles frames on the segment: the transmitted
+	// original is returned once its delivery clones are made, and the
+	// clones draw from recycled buffers. Nil keeps plain allocation.
+	Pool *FramePool
 }
 
 func (c *BusConfig) fill() {
@@ -76,6 +80,7 @@ func NewSharedBus(sched *sim.Scheduler, cfg BusConfig) *SharedBus {
 // Attach implements Medium.
 func (b *SharedBus) Attach(n *NIC) {
 	n.medium = b
+	n.pool = b.cfg.Pool
 	b.nics = append(b.nics, n)
 }
 
@@ -207,13 +212,16 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 	fr := tx.nic.dequeue()
 	tx.nic.txDone(fr)
 
-	// Deliver to every other station after the propagation delay.
+	// Deliver to every other station after the propagation delay. Each
+	// station gets its own copy (drawn from the pool); the transmitted
+	// original is dead once the copies exist — per the ownership
+	// protocol the sender relinquished it at Send — and is recycled.
 	bits := wireBytes(len(fr.Data)) * 8
 	for _, dst := range b.nics {
 		if dst == tx.nic {
 			continue
 		}
-		cp := fr.Clone()
+		cp := b.cfg.Pool.Clone(fr)
 		if b.corrupts(bits) {
 			cp.Corrupt = true
 			b.flipBit(cp)
@@ -225,6 +233,7 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 			dstNIC.deliver(cp)
 		})
 	}
+	b.cfg.Pool.Put(fr)
 
 	// More traffic from this NIC or deferred stations?
 	if tx.nic.head() != nil {

@@ -375,20 +375,37 @@ func TestBusUtilization(t *testing.T) {
 }
 
 func BenchmarkBusForwarding(b *testing.B) {
+	benchBusForwarding(b, nil)
+}
+
+// BenchmarkBusForwardingPooled is the same frame path drawing from a
+// FramePool, as a Testbed's media do — the delivery clones and the
+// transmitted originals recycle instead of hitting the allocator.
+func BenchmarkBusForwardingPooled(b *testing.B) {
+	benchBusForwarding(b, NewFramePool())
+}
+
+func benchBusForwarding(b *testing.B, pool *FramePool) {
 	s := sim.NewScheduler(1)
-	bus := NewSharedBus(s, BusConfig{})
+	bus := NewSharedBus(s, BusConfig{Pool: pool})
 	a, c := NewNIC(s, mac(1), 16), NewNIC(s, mac(2), 0)
 	bus.Attach(a)
 	bus.Attach(c)
+	send := func() {
+		fr := pool.Get(1000)
+		copy(fr.Data, testFrame(mac(1), mac(2), 1000).Data)
+		a.Send(fr)
+	}
 	n := 0
 	c.SetRecv(func(*Frame) {
 		n++
 		if n < b.N {
-			a.Send(testFrame(mac(1), mac(2), 1000))
+			send()
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
-	a.Send(testFrame(mac(1), mac(2), 1000))
+	send()
 	if err := s.Run(); err != nil {
 		b.Fatal(err)
 	}

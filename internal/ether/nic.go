@@ -47,6 +47,7 @@ type NIC struct {
 
 	sched   *sim.Scheduler
 	medium  Medium
+	pool    *FramePool // set by the medium on Attach; nil disables recycling
 	txq     []*Frame
 	txqCap  int
 	recv    func(*Frame)
@@ -84,6 +85,9 @@ func (n *NIC) QueueLen() int { return len(n.txq) }
 func (n *NIC) Send(fr *Frame) bool {
 	if len(n.txq) >= n.txqCap {
 		n.Stats.QueueDrops++
+		// Ownership passed to the NIC with the call; a dropped frame is
+		// dead and goes back to the testbed's pool.
+		n.pool.Put(fr)
 		return false
 	}
 	if fr.ID == 0 {
@@ -146,7 +150,7 @@ func (n *NIC) collided() bool {
 	n.backoff++
 	if n.backoff >= MaxAttempts {
 		n.Stats.TxExpired++
-		n.dequeue()
+		n.pool.Put(n.dequeue())
 		n.backoff = 0
 		return false
 	}
@@ -158,10 +162,13 @@ func (n *NIC) collided() bool {
 func (n *NIC) deliver(fr *Frame) {
 	dst := fr.Dst()
 	if !n.Promiscuous && dst != n.MAC && !dst.IsBroadcast() {
+		// Never seen by the receiver: safe to recycle.
+		n.pool.Put(fr)
 		return
 	}
 	if fr.Corrupt && !n.DeliverCorrupt {
 		n.Stats.CRCErrors++
+		n.pool.Put(fr)
 		return
 	}
 	n.Stats.RxFrames++

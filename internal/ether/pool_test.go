@@ -1,0 +1,141 @@
+package ether
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
+)
+
+func TestFramePoolReuse(t *testing.T) {
+	p := NewFramePool()
+	fr := p.Get(64)
+	if len(fr.Data) != 64 {
+		t.Fatalf("Get(64) Data len = %d", len(fr.Data))
+	}
+	fr.Corrupt = true
+	fr.ID = 99
+	p.Put(fr)
+	got := p.Get(32)
+	if got != fr {
+		t.Error("Get did not reuse the returned frame")
+	}
+	if got.Corrupt || got.ID != 0 {
+		t.Errorf("recycled frame not reset: Corrupt=%v ID=%d", got.Corrupt, got.ID)
+	}
+	if len(got.Data) != 32 {
+		t.Errorf("recycled Data len = %d, want 32", len(got.Data))
+	}
+	if p.Hits != 1 {
+		t.Errorf("Hits = %d, want 1", p.Hits)
+	}
+}
+
+func TestFramePoolUndersizedBufferGrows(t *testing.T) {
+	p := NewFramePool()
+	small := p.Get(16)
+	p.Put(small)
+	big := p.Get(1500)
+	if len(big.Data) != 1500 {
+		t.Fatalf("Get(1500) Data len = %d", len(big.Data))
+	}
+	if big != small {
+		t.Error("struct not reused when the buffer had to grow")
+	}
+}
+
+func TestFramePoolClone(t *testing.T) {
+	p := NewFramePool()
+	orig := p.Get(100)
+	for i := range orig.Data {
+		orig.Data[i] = byte(i)
+	}
+	orig.Corrupt = true
+	orig.ID = 7
+	cp := p.Clone(orig)
+	if cp == orig {
+		t.Fatal("Clone returned the original")
+	}
+	if !bytes.Equal(cp.Data, orig.Data) {
+		t.Error("Clone data differs")
+	}
+	if !cp.Corrupt || cp.ID != 7 {
+		t.Errorf("Clone lost metadata: Corrupt=%v ID=%d", cp.Corrupt, cp.ID)
+	}
+	// Mutating the clone must not touch the original.
+	cp.Data[0] ^= 0xFF
+	if orig.Data[0] == cp.Data[0] {
+		t.Error("Clone shares its buffer with the original")
+	}
+}
+
+func TestFramePoolSkipsOversizedBuffers(t *testing.T) {
+	p := NewFramePool()
+	huge := &Frame{Data: make([]byte, maxPooledCap+1)}
+	p.Put(huge)
+	if p.Puts != 0 || len(p.free) != 0 {
+		t.Error("oversized buffer was pooled")
+	}
+}
+
+func TestFramePoolNilSafe(t *testing.T) {
+	var p *FramePool
+	fr := p.Get(10)
+	if fr == nil || len(fr.Data) != 10 {
+		t.Fatal("nil pool Get failed")
+	}
+	cp := p.Clone(fr)
+	if cp == nil || len(cp.Data) != 10 {
+		t.Fatal("nil pool Clone failed")
+	}
+	p.Put(fr) // must not panic
+}
+
+// End-to-end: frames delivered across a pooled bus must survive intact
+// even while the transmitted originals and dropped copies are recycled
+// underneath — the receiver owns its upcall frame forever.
+func TestFramePoolBusDeliveryIntegrity(t *testing.T) {
+	s := sim.NewScheduler(1)
+	pool := NewFramePool()
+	bus := NewSharedBus(s, BusConfig{Pool: pool})
+	a := NewNIC(s, packet.MAC{0, 0, 0, 0, 0, 1}, 16)
+	b := NewNIC(s, packet.MAC{0, 0, 0, 0, 0, 2}, 16)
+	bus.Attach(a)
+	bus.Attach(b)
+
+	var delivered []*Frame
+	b.SetRecv(func(fr *Frame) { delivered = append(delivered, fr) })
+
+	const frames = 20
+	for i := 0; i < frames; i++ {
+		fr := pool.Get(64)
+		copy(fr.Data[0:6], b.MAC[:])
+		copy(fr.Data[6:12], a.MAC[:])
+		for j := 14; j < 64; j++ {
+			fr.Data[j] = byte(i)
+		}
+		i := i
+		s.After(time.Duration(i)*time.Millisecond, "send", func() { a.Send(fr) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(delivered) != frames {
+		t.Fatalf("delivered %d frames, want %d", len(delivered), frames)
+	}
+	for i, fr := range delivered {
+		for j := 14; j < 64; j++ {
+			if fr.Data[j] != byte(i) {
+				t.Fatalf("frame %d payload corrupted at byte %d: got %d", i, j, fr.Data[j])
+			}
+		}
+	}
+	if pool.Puts == 0 {
+		t.Error("bus recycled no frames")
+	}
+	if pool.Hits == 0 {
+		t.Error("pool served no recycled buffers")
+	}
+}

@@ -27,6 +27,9 @@ type SwitchConfig struct {
 	FullDuplex bool
 	// BitErrorRate is applied per port segment.
 	BitErrorRate float64
+	// Pool, when non-nil, recycles frames across the switch and all its
+	// port segments (see BusConfig.Pool).
+	Pool *FramePool
 }
 
 func (c *SwitchConfig) fill() {
@@ -86,12 +89,14 @@ func (sw *Switch) AttachHost(host *NIC) int {
 			BitsPerSecond: sw.cfg.BitsPerSecond,
 			Propagation:   sw.cfg.Propagation,
 			BitErrorRate:  sw.cfg.BitErrorRate,
+			Pool:          sw.cfg.Pool,
 		})
 	} else {
 		seg = NewSharedBus(sw.sched, BusConfig{
 			BitsPerSecond: sw.cfg.BitsPerSecond,
 			Propagation:   sw.cfg.Propagation,
 			BitErrorRate:  sw.cfg.BitErrorRate,
+			Pool:          sw.cfg.Pool,
 		})
 	}
 	seg.Attach(host)
@@ -103,6 +108,10 @@ func (sw *Switch) AttachHost(host *NIC) int {
 }
 
 // ingress handles a frame received on port idx after full reassembly.
+// The ingress frame is owned by the switch (the segment delivered this
+// copy to the port NIC and nothing else holds it): a unicast forward
+// hands it onward without a copy, a flood clones per output port, and
+// whatever is left is recycled.
 func (sw *Switch) ingress(idx int, fr *Frame) {
 	src := fr.Src()
 	sw.table[src] = idx
@@ -112,8 +121,10 @@ func (sw *Switch) ingress(idx int, fr *Frame) {
 		if known && !dst.IsBroadcast() {
 			if out != idx {
 				sw.ForwardedFrames++
-				sw.ports[out].nic.Send(fr.Clone())
+				sw.ports[out].nic.Send(fr)
+				return
 			}
+			sw.cfg.Pool.Put(fr)
 			return
 		}
 		sw.FloodedFrames++
@@ -122,8 +133,9 @@ func (sw *Switch) ingress(idx int, fr *Frame) {
 				continue
 			}
 			sw.ForwardedFrames++
-			p.nic.Send(fr.Clone())
+			p.nic.Send(sw.cfg.Pool.Clone(fr))
 		}
+		sw.cfg.Pool.Put(fr)
 	})
 }
 
@@ -168,6 +180,8 @@ type LinkConfig struct {
 	BitsPerSecond float64
 	Propagation   time.Duration
 	BitErrorRate  float64
+	// Pool, when non-nil, recycles frames on the link (see BusConfig.Pool).
+	Pool *FramePool
 }
 
 func (c *LinkConfig) fill() {
@@ -205,6 +219,7 @@ func (l *Link) Attach(n *NIC) {
 		return
 	}
 	n.medium = l
+	n.pool = l.cfg.Pool
 	l.ends = append(l.ends, n)
 }
 
@@ -244,7 +259,7 @@ func (l *Link) pump(dir int) {
 		out := src.dequeue()
 		src.txDone(out)
 		dst := l.ends[1-dir]
-		cp := out.Clone()
+		cp := l.cfg.Pool.Clone(out)
 		bits := wireBytes(len(out.Data)) * 8
 		if l.cfg.BitErrorRate > 0 {
 			p := float64(bits) * l.cfg.BitErrorRate
@@ -259,6 +274,9 @@ func (l *Link) pump(dir int) {
 				}
 			}
 		}
+		// The delivery copy is on its way; the transmitted original is
+		// dead and goes back to the pool.
+		l.cfg.Pool.Put(out)
 		l.sched.After(l.cfg.Propagation, "link.deliver", func() { dst.deliver(cp) })
 		l.pump(dir)
 	})

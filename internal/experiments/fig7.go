@@ -32,8 +32,14 @@ type Fig7Config struct {
 	MetricsInterval time.Duration
 	// Observe, when non-nil, is invoked after each sub-run with a label
 	// like "vw+rll@90Mbps" and the finished testbed, before it is
-	// discarded — the hook metrics collection rides on.
+	// discarded — the hook metrics collection rides on. Observe always
+	// runs on the caller's goroutine in sweep order, even under Parallel
+	// (finished testbeds are held until their turn comes).
 	Observe func(label string, tb *virtualwire.Testbed)
+	// Parallel is the number of sweep points evaluated concurrently,
+	// each in its own private testbed/scheduler. <= 1 runs serially.
+	// Results are bit-for-bit identical to a serial sweep.
+	Parallel int
 }
 
 func (c *Fig7Config) fill() {
@@ -69,30 +75,55 @@ type Fig7Point struct {
 }
 
 // RunFig7 executes the sweep and returns one point per offered rate.
+// With cfg.Parallel > 1 independent rate points run concurrently; the
+// per-point seeds are derived from the point index exactly as in the
+// serial sweep, so the returned points (and any Observe-collected
+// metrics) are bit-for-bit identical regardless of worker count.
 func RunFig7(cfg Fig7Config) ([]Fig7Point, error) {
 	cfg.fill()
 	script := fig7Script(cfg.Filters, cfg.Actions)
-	out := make([]Fig7Point, 0, len(cfg.OfferedMbps))
-	for i, rate := range cfg.OfferedMbps {
+	type pointResult struct {
+		point Fig7Point
+		obs   []observation
+	}
+	results, err := RunParallel(cfg.Parallel, len(cfg.OfferedMbps), func(i int) (pointResult, error) {
+		rate := cfg.OfferedMbps[i]
 		seed := cfg.Seed + int64(i)*100
-		base, err := fig7Point(seed+1, rate, cfg, "", false, fmt.Sprintf("baseline@%vMbps", rate))
-		if err != nil {
-			return nil, fmt.Errorf("fig7 baseline @%vMbps: %w", rate, err)
+		pcfg := cfg
+		var obs []observation
+		if cfg.Observe != nil {
+			pcfg.Observe = func(label string, tb *virtualwire.Testbed) {
+				obs = append(obs, observation{label, tb})
+			}
 		}
-		vw, err := fig7Point(seed+2, rate, cfg, script, false, fmt.Sprintf("vw@%vMbps", rate))
+		base, err := fig7Point(seed+1, rate, pcfg, "", false, fmt.Sprintf("baseline@%vMbps", rate))
 		if err != nil {
-			return nil, fmt.Errorf("fig7 vw @%vMbps: %w", rate, err)
+			return pointResult{}, fmt.Errorf("fig7 baseline @%vMbps: %w", rate, err)
 		}
-		vwrll, err := fig7Point(seed+3, rate, cfg, script, true, fmt.Sprintf("vw+rll@%vMbps", rate))
+		vw, err := fig7Point(seed+2, rate, pcfg, script, false, fmt.Sprintf("vw@%vMbps", rate))
 		if err != nil {
-			return nil, fmt.Errorf("fig7 vw+rll @%vMbps: %w", rate, err)
+			return pointResult{}, fmt.Errorf("fig7 vw @%vMbps: %w", rate, err)
 		}
-		out = append(out, Fig7Point{
+		vwrll, err := fig7Point(seed+3, rate, pcfg, script, true, fmt.Sprintf("vw+rll@%vMbps", rate))
+		if err != nil {
+			return pointResult{}, fmt.Errorf("fig7 vw+rll @%vMbps: %w", rate, err)
+		}
+		return pointResult{point: Fig7Point{
 			OfferedMbps:  rate,
 			BaselineMbps: base,
 			VWMbps:       vw,
 			VWRLLMbps:    vwrll,
-		})
+		}, obs: obs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, len(results))
+	for i, r := range results {
+		out[i] = r.point
+		for _, o := range r.obs {
+			cfg.Observe(o.label, o.tb)
+		}
 	}
 	return out, nil
 }

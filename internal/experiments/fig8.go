@@ -33,8 +33,13 @@ type Fig8Config struct {
 	MetricsInterval time.Duration
 	// Observe, when non-nil, is invoked after each sub-run with a label
 	// like "actions@n=10" and the finished testbed, before it is
-	// discarded.
+	// discarded. Observe always runs on the caller's goroutine in sweep
+	// order, even under Parallel.
 	Observe func(label string, tb *virtualwire.Testbed)
+	// Parallel is the number of sweep points evaluated concurrently,
+	// each in its own private testbed/scheduler. <= 1 runs serially.
+	// Results are bit-for-bit identical to a serial sweep.
+	Parallel int
 }
 
 func (c *Fig8Config) fill() {
@@ -73,7 +78,9 @@ type Fig8Point struct {
 
 const fig8EchoPort = 9000
 
-// RunFig8 executes the sweep.
+// RunFig8 executes the sweep. The shared baseline always runs first on
+// the caller's goroutine; with cfg.Parallel > 1 the per-count points then
+// run concurrently, bit-for-bit identical to the serial sweep.
 func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 	cfg.fill()
 	// One shared baseline: no VirtualWire, no RLL.
@@ -81,33 +88,54 @@ func RunFig8(cfg Fig8Config) ([]Fig8Point, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig8 baseline: %w", err)
 	}
-	out := make([]Fig8Point, 0, len(cfg.FilterCounts))
-	for i, n := range cfg.FilterCounts {
+	type pointResult struct {
+		point Fig8Point
+		obs   []observation
+	}
+	results, err := RunParallel(cfg.Parallel, len(cfg.FilterCounts), func(i int) (pointResult, error) {
+		n := cfg.FilterCounts[i]
 		seed := cfg.Seed + int64(i+1)*100
 		scriptPlain := fig8Script(n, 0, fig8EchoPort)
 		scriptActs := fig8Script(n, cfg.Actions, fig8EchoPort)
-		rttF, err := fig8Point(seed+1, cfg, scriptPlain, false, fmt.Sprintf("filters@n=%d", n))
-		if err != nil {
-			return nil, fmt.Errorf("fig8 filters n=%d: %w", n, err)
+		pcfg := cfg
+		var obs []observation
+		if cfg.Observe != nil {
+			pcfg.Observe = func(label string, tb *virtualwire.Testbed) {
+				obs = append(obs, observation{label, tb})
+			}
 		}
-		rttA, err := fig8Point(seed+2, cfg, scriptActs, false, fmt.Sprintf("actions@n=%d", n))
+		rttF, err := fig8Point(seed+1, pcfg, scriptPlain, false, fmt.Sprintf("filters@n=%d", n))
 		if err != nil {
-			return nil, fmt.Errorf("fig8 actions n=%d: %w", n, err)
+			return pointResult{}, fmt.Errorf("fig8 filters n=%d: %w", n, err)
 		}
-		rttR, err := fig8Point(seed+3, cfg, scriptActs, true, fmt.Sprintf("rll@n=%d", n))
+		rttA, err := fig8Point(seed+2, pcfg, scriptActs, false, fmt.Sprintf("actions@n=%d", n))
 		if err != nil {
-			return nil, fmt.Errorf("fig8 rll n=%d: %w", n, err)
+			return pointResult{}, fmt.Errorf("fig8 actions n=%d: %w", n, err)
+		}
+		rttR, err := fig8Point(seed+3, pcfg, scriptActs, true, fmt.Sprintf("rll@n=%d", n))
+		if err != nil {
+			return pointResult{}, fmt.Errorf("fig8 rll n=%d: %w", n, err)
 		}
 		pct := func(rtt time.Duration) float64 {
 			return (float64(rtt) - float64(baseRTT)) / float64(baseRTT) * 100
 		}
-		out = append(out, Fig8Point{
+		return pointResult{point: Fig8Point{
 			Filters:     n,
 			BaselineRTT: baseRTT,
 			PctFilters:  pct(rttF),
 			PctActions:  pct(rttA),
 			PctRLL:      pct(rttR),
-		})
+		}, obs: obs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8Point, len(results))
+	for i, r := range results {
+		out[i] = r.point
+		for _, o := range r.obs {
+			cfg.Observe(o.label, o.tb)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"virtualwire"
+)
+
+// RunParallel evaluates fn(0) … fn(n-1) across at most workers goroutines
+// and returns the results in input order. Each call to fn must be fully
+// independent of the others — for sweep points that means a private
+// Testbed (and therefore a private Scheduler, rand stream and frame
+// pool), which the experiment runners guarantee by constructing one
+// testbed per point from the point's own seed. Results are therefore
+// bit-for-bit identical to a serial sweep regardless of worker count.
+//
+// workers <= 1 runs the calls serially on the caller's goroutine (no
+// goroutines spawned, first error returns immediately); workers <= 0 is
+// clamped to GOMAXPROCS. On failure the error of the smallest failing
+// index is returned — the same error a serial sweep would have surfaced
+// — so error behavior is deterministic too.
+func RunParallel[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// observation is a deferred Observe callback: sweeps collect them inside
+// each point's worker and replay them on the caller's goroutine in point
+// order, so metrics collection sees the exact sequence a serial sweep
+// produces (and user hooks never run concurrently).
+type observation struct {
+	label string
+	tb    *virtualwire.Testbed
+}

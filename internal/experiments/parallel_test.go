@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"virtualwire"
+)
+
+func TestRunParallelPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := RunParallel(workers, 25, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelReturnsSmallestFailingIndex(t *testing.T) {
+	errAt := func(fail map[int]bool) error {
+		_, err := RunParallel(4, 10, func(i int) (int, error) {
+			if fail[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	err := errAt(map[int]bool{7: true, 3: true, 9: true})
+	if err == nil || err.Error() != "point 3 failed" {
+		t.Errorf("err = %v, want the smallest failing index (3)", err)
+	}
+	if err := errAt(nil); err != nil {
+		t.Errorf("err = %v on clean run", err)
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	out, err := RunParallel(4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Errorf("RunParallel(0 items) = %v, %v", out, err)
+	}
+}
+
+// RunParallel must actually overlap the work: four 50 ms sleeps across
+// four workers should complete in well under the 200 ms a serial pass
+// takes. Sleeping does not consume CPU, so this holds even on a
+// single-core machine.
+func TestRunParallelConcurrency(t *testing.T) {
+	const n = 4
+	const nap = 50 * time.Millisecond
+	var peak, cur atomic.Int32
+	start := time.Now()
+	_, err := RunParallel(n, n, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(nap)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+	if elapsed > 3*nap {
+		t.Errorf("4 overlapped %v sleeps took %v, want < %v", nap, elapsed, 3*nap)
+	}
+}
+
+// collectSeries gathers the Observe stream the way vwbench -metrics-out
+// does, encoding each testbed's series to JSON at replay time.
+type labeledJSON struct {
+	Label string
+	JSON  []byte
+}
+
+func seriesCollector(t *testing.T) (*[]labeledJSON, func(string, *virtualwire.Testbed)) {
+	t.Helper()
+	var got []labeledJSON
+	return &got, func(label string, tb *virtualwire.Testbed) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		if err := enc.Encode(tb.MetricsSeries()); err != nil {
+			t.Fatalf("encode series: %v", err)
+		}
+		got = append(got, labeledJSON{Label: label, JSON: buf.Bytes()})
+	}
+}
+
+// A parallel Figure 7 sweep must be indistinguishable from the serial
+// one: identical point slices and an identical Observe stream (labels,
+// order, and byte-for-byte metrics series).
+func TestFig7SerialParallelIdentical(t *testing.T) {
+	run := func(parallel int) ([]Fig7Point, []labeledJSON) {
+		collected, observe := seriesCollector(t)
+		pts, err := RunFig7(Fig7Config{
+			OfferedMbps:     []float64{20, 60, 95},
+			Duration:        100 * time.Millisecond,
+			Seed:            42,
+			Parallel:        parallel,
+			MetricsInterval: 20 * time.Millisecond,
+			Observe:         observe,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return pts, *collected
+	}
+	serialPts, serialObs := run(1)
+	parPts, parObs := run(4)
+	if !reflect.DeepEqual(serialPts, parPts) {
+		t.Errorf("points diverge:\nserial:   %+v\nparallel: %+v", serialPts, parPts)
+	}
+	if len(serialObs) != len(parObs) {
+		t.Fatalf("observation counts diverge: %d vs %d", len(serialObs), len(parObs))
+	}
+	for i := range serialObs {
+		if serialObs[i].Label != parObs[i].Label {
+			t.Errorf("observation %d label: %q vs %q", i, serialObs[i].Label, parObs[i].Label)
+		}
+		if !bytes.Equal(serialObs[i].JSON, parObs[i].JSON) {
+			t.Errorf("observation %d (%s): metrics series bytes diverge", i, serialObs[i].Label)
+		}
+	}
+}
+
+// Same for Figure 8, whose shared baseline runs serially before the
+// parallel per-count points.
+func TestFig8SerialParallelIdentical(t *testing.T) {
+	run := func(parallel int) ([]Fig8Point, []labeledJSON) {
+		collected, observe := seriesCollector(t)
+		pts, err := RunFig8(Fig8Config{
+			FilterCounts:    []int{1, 10, 25},
+			Pings:           40,
+			Seed:            7,
+			Parallel:        parallel,
+			MetricsInterval: 10 * time.Millisecond,
+			Observe:         observe,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return pts, *collected
+	}
+	serialPts, serialObs := run(1)
+	parPts, parObs := run(3)
+	if !reflect.DeepEqual(serialPts, parPts) {
+		t.Errorf("points diverge:\nserial:   %+v\nparallel: %+v", serialPts, parPts)
+	}
+	if len(serialObs) != len(parObs) {
+		t.Fatalf("observation counts diverge: %d vs %d", len(serialObs), len(parObs))
+	}
+	if len(serialObs) > 0 && serialObs[0].Label != "baseline" {
+		t.Errorf("first observation = %q, want the shared baseline", serialObs[0].Label)
+	}
+	for i := range serialObs {
+		if serialObs[i].Label != parObs[i].Label {
+			t.Errorf("observation %d label: %q vs %q", i, serialObs[i].Label, parObs[i].Label)
+		}
+		if !bytes.Equal(serialObs[i].JSON, parObs[i].JSON) {
+			t.Errorf("observation %d (%s): metrics series bytes diverge", i, serialObs[i].Label)
+		}
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+// Serial mode must short-circuit on the first error exactly like the old
+// loop did (later points never run).
+func TestRunParallelSerialShortCircuit(t *testing.T) {
+	ran := 0
+	_, err := RunParallel(1, 10, func(i int) (int, error) {
+		ran++
+		if i == 2 {
+			return 0, errSentinel
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errSentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if ran != 3 {
+		t.Errorf("serial mode ran %d points after an error at index 2, want 3", ran)
+	}
+}

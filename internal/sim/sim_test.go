@@ -266,6 +266,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			s.After(time.Microsecond, "tick", tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	s.After(0, "tick", tick)
 	if err := s.Run(); err != nil {

@@ -140,6 +140,7 @@ func (n *Node) SnapshotLayers() []string {
 // the uniform Snapshot hook; called once from build().
 func (tb *Testbed) registerMetricSources() {
 	tb.reg.RegisterSource(MetricsNode, "scheduler", tb.sched.Snapshot)
+	tb.reg.RegisterSource(MetricsNode, "pool", tb.pool.Snapshot)
 	if tb.sw != nil {
 		tb.reg.RegisterSource(MetricsNode, "switch", tb.sw.Snapshot)
 	}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Hot-path benchmark suite: measures the scheduler, classifier, frame
+# path, engine interception and the Figure 5/6 scenario benches, and
+# records the results as BENCH_core.json at the repository root.
+#
+# Usage: scripts/bench.sh [count]
+#   count  -benchtime iteration spec (default 2s of wall time per bench).
+#
+# See docs/PERFORMANCE.md for how to interpret the numbers and for the
+# recorded before/after history of the allocation overhaul.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_core.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+run_bench() {
+    # $1 = package, $2 = benchmark regexp
+    go test -run '^$' -bench "$2" -benchmem -benchtime "$BENCHTIME" "$1" \
+        | tee -a /dev/stderr
+}
+
+{
+    run_bench ./internal/sim 'BenchmarkScheduler'
+    run_bench ./internal/core 'BenchmarkClassifier'
+    run_bench ./internal/ether 'BenchmarkBusForwarding'
+    run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario'
+} > "$RAW"
+
+# Parse `go test -bench` output lines of the form
+#   BenchmarkName  <iters>  <ns> ns/op  <bytes> B/op  <allocs> allocs/op
+# into a JSON object keyed by benchmark name.
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$RAW" > "$OUT"
+
+echo "benchmark results written to $OUT"

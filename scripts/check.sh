@@ -17,4 +17,10 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (one iteration) =="
+# Each benchmark runs exactly once: catches benchmarks that no longer
+# compile or crash, without paying measurement time. Full measurements
+# live in scripts/bench.sh.
+go test -run '^$' -bench . -benchtime=1x ./... > /dev/null
+
 echo "All checks passed."

@@ -217,6 +217,7 @@ func (tb *Testbed) InjectedFaults() []InjectedFault {
 type Testbed struct {
 	cfg   Config
 	sched *sim.Scheduler
+	pool  *ether.FramePool
 	sw    *ether.Switch
 	bus   *ether.SharedBus
 
@@ -253,6 +254,7 @@ func New(cfg Config) (*Testbed, error) {
 	tb := &Testbed{
 		cfg:    cfg,
 		sched:  sim.NewScheduler(cfg.Seed),
+		pool:   ether.NewFramePool(),
 		byName: make(map[string]*Node),
 		reg:    metrics.NewRegistry(),
 	}
@@ -263,12 +265,14 @@ func New(cfg Config) (*Testbed, error) {
 			Propagation:   cfg.Propagation,
 			BitErrorRate:  cfg.BitErrorRate,
 			FullDuplex:    cfg.Medium == MediumSwitchFullDuplex,
+			Pool:          tb.pool,
 		})
 	case MediumBus:
 		tb.bus = ether.NewSharedBus(tb.sched, ether.BusConfig{
 			BitsPerSecond: cfg.BitsPerSecond,
 			Propagation:   cfg.Propagation,
 			BitErrorRate:  cfg.BitErrorRate,
+			Pool:          tb.pool,
 		})
 	default:
 		return nil, fmt.Errorf("virtualwire: unknown medium %d", cfg.Medium)
