@@ -153,6 +153,9 @@ func run() error {
 	}
 
 	fmt.Printf("scenario: %s\n", rep.Result)
+	if rep.Result.LaunchFailed {
+		fmt.Printf("launch failed; unreachable nodes: %s\n", strings.Join(rep.Unreachable, ", "))
+	}
 	fmt.Printf("virtual time: %v, events: %d\n", rep.Duration, rep.Events)
 	for _, e := range rep.Result.Errors {
 		fmt.Printf("  error: %s\n", e)

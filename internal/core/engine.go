@@ -52,6 +52,9 @@ type EngineStats struct {
 	CtlSent            uint64
 	CtlRcvd            uint64
 	CtlBytes           uint64
+	InitChunksRcvd     uint64
+	InitDupChunks      uint64 // duplicate INIT chunks (controller retries)
+	InitReacks         uint64 // acks re-sent for INITs already assembled
 }
 
 // FaultEvent records one injected fault for post-run reporting.
@@ -120,6 +123,11 @@ type Engine struct {
 
 	initChunks [][]byte
 	initGot    int
+	// initDone records that a program was assembled and loaded over the
+	// control plane; later duplicate chunks (lost acks, controller
+	// retries, a second Launch) are re-acked instead of re-assembled, so
+	// a live scenario is never reset by a stale retransmission.
+	initDone bool
 
 	lastActivity time.Duration
 	activitySent bool
@@ -186,6 +194,9 @@ func (e *Engine) Snapshot() metrics.Snapshot {
 	sn.Counter("ctl_sent", e.Stats.CtlSent)
 	sn.Counter("ctl_rcvd", e.Stats.CtlRcvd)
 	sn.Counter("ctl_bytes", e.Stats.CtlBytes)
+	sn.Counter("init_chunks_rcvd", e.Stats.InitChunksRcvd)
+	sn.Counter("init_dup_chunks", e.Stats.InitDupChunks)
+	sn.Counter("init_reacks", e.Stats.InitReacks)
 	sn.Counter("faults_injected", uint64(len(e.faultLog)))
 	if e.failed {
 		sn.Gauge("failed", 1)
@@ -845,8 +856,22 @@ func (e *Engine) handleCtl(m *Msg) {
 	}
 }
 
+// handleInitChunk reassembles the INIT distribution idempotently: chunks
+// may arrive duplicated, reordered, or partially (the controller re-sends
+// the full sequence on its retry timer until acked). Once the program is
+// loaded, any further chunk — a retry racing the ack, or a second Launch
+// — is answered with a fresh ack rather than a destructive re-assembly.
 func (e *Engine) handleInitChunk(m *Msg) {
 	if m.ChunkTotal <= 0 || m.ChunkIndex < 0 || m.ChunkIndex >= m.ChunkTotal {
+		return
+	}
+	e.Stats.InitChunksRcvd++
+	if e.initDone && e.initChunks == nil {
+		// Already assembled and loaded: the ack was lost or the
+		// controller retried before it arrived. Re-ack so it can advance.
+		e.Stats.InitDupChunks++
+		e.Stats.InitReacks++
+		e.sendCtl(e.controlNode, &Msg{Kind: MsgInitAck, From: e.self})
 		return
 	}
 	if e.initChunks == nil || len(e.initChunks) != m.ChunkTotal {
@@ -856,6 +881,8 @@ func (e *Engine) handleInitChunk(m *Msg) {
 	if e.initChunks[m.ChunkIndex] == nil {
 		e.initChunks[m.ChunkIndex] = m.ChunkData
 		e.initGot++
+	} else {
+		e.Stats.InitDupChunks++
 	}
 	if e.initGot < m.ChunkTotal {
 		return
@@ -870,5 +897,6 @@ func (e *Engine) handleInitChunk(m *Msg) {
 		return
 	}
 	e.load(p, m.NodeID, m.ControlNode)
+	e.initDone = true
 	e.sendCtl(e.controlNode, &Msg{Kind: MsgInitAck, From: e.self})
 }

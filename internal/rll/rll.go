@@ -48,6 +48,11 @@ const (
 	typeData       = 1
 	typeAck        = 2
 	typeUnreliable = 3
+	// typeReset tells the receiver the sender abandoned everything before
+	// seq (give-up after MaxRetries) and the stream resumes there. Without
+	// it a live-but-slow peer would discard every later frame as a gap
+	// forever once the sender's base moved past its expected sequence.
+	typeReset = 4
 )
 
 const headerLen = 13 // type + seq + ack + crc32, after the outer Ethernet header
@@ -92,6 +97,8 @@ type Stats struct {
 	GaveUp        uint64 // frames dropped after MaxRetries
 	Unreliable    uint64 // broadcast/unreliable frames sent
 	BlockedQueued uint64 // frames queued because the window was full
+	ResetsSent    uint64 // seq-reset markers sent after a give-up
+	Resyncs       uint64 // forward jumps accepted from a peer's reset
 }
 
 type peerSend struct {
@@ -102,6 +109,10 @@ type peerSend struct {
 	timer    *sim.Timer
 	retries  int
 	rto      time.Duration
+	// resync is set after a give-up advanced base past undelivered
+	// frames; a reset marker is (re)sent with every retransmission round
+	// until the peer's cumulative ack reaches the new base.
+	resync bool
 }
 
 type peerRecv struct {
@@ -115,6 +126,7 @@ type RLL struct {
 	cfg   Config
 	sched *sim.Scheduler
 	mac   packet.MAC
+	pool  *ether.FramePool
 	send  map[packet.MAC]*peerSend
 	recv  map[packet.MAC]*peerRecv
 
@@ -139,6 +151,12 @@ func New(sched *sim.Scheduler, mac packet.MAC, cfg Config) *RLL {
 	}
 }
 
+// SetPool wires the testbed's frame pool into the layer so upcall frames
+// and dead encapsulations follow the same recycling protocol as the
+// media (see docs/PERFORMANCE.md). Safe to leave unset (nil pool):
+// every pool operation degrades to plain allocation.
+func (r *RLL) SetPool(p *ether.FramePool) { r.pool = p }
+
 // Snapshot implements the uniform metrics hook: every Stats field plus
 // the instantaneous window occupancy summed over peers.
 func (r *RLL) Snapshot() metrics.Snapshot {
@@ -153,6 +171,8 @@ func (r *RLL) Snapshot() metrics.Snapshot {
 	sn.Counter("gave_up", r.Stats.GaveUp)
 	sn.Counter("unreliable", r.Stats.Unreliable)
 	sn.Counter("window_stalls", r.Stats.BlockedQueued)
+	sn.Counter("resets_sent", r.Stats.ResetsSent)
+	sn.Counter("resyncs", r.Stats.Resyncs)
 	var inflight, backlog int
 	for _, ps := range r.send {
 		inflight += len(ps.inflight)
@@ -178,6 +198,9 @@ func (r *RLL) SendDown(fr *ether.Frame) {
 	dst := fr.Dst()
 	if dst.IsBroadcast() {
 		r.Stats.Unreliable++
+		// The original is copied into enc but NOT recycled here: callers
+		// above (the engine's DUP action) may still clone it synchronously
+		// after PassDown returns, exactly as they may with a raw NIC send.
 		r.base.PassDown(r.encap(fr, typeUnreliable, 0, 0))
 		return
 	}
@@ -208,6 +231,7 @@ func (r *RLL) DeliverUp(fr *ether.Frame) {
 			// A damaged frame whose bytes cannot be trusted at all
 			// (possibly an RLL frame with a mangled ethertype).
 			r.Stats.CRCDrops++
+			r.pool.Put(fr)
 			return
 		}
 		// Not RLL traffic (mixed testbed); deliver as-is.
@@ -215,6 +239,7 @@ func (r *RLL) DeliverUp(fr *ether.Frame) {
 		return
 	}
 	if len(fr.Data) < packet.EthHeaderLen+headerLen {
+		r.pool.Put(fr)
 		return
 	}
 	hdr := fr.Data[packet.EthHeaderLen:]
@@ -229,14 +254,26 @@ func (r *RLL) DeliverUp(fr *ether.Frame) {
 		// sender's window retransmits. This is the exact loss the RLL
 		// exists to mask.
 		r.Stats.CRCDrops++
+		r.pool.Put(fr)
 		return
 	}
 
 	switch typ {
 	case typeAck:
 		r.handleAck(src, ack)
+		r.pool.Put(fr)
 	case typeUnreliable:
 		r.deliverInner(fr, inner)
+	case typeReset:
+		// The sender gave up on everything before seq; jump forward so
+		// the stream resynchronizes instead of gap-dropping forever.
+		pr := r.recvState(src)
+		if serialLT(pr.expected, seq) {
+			pr.expected = seq
+			r.Stats.Resyncs++
+		}
+		r.sendAck(src, pr.expected)
+		r.pool.Put(fr)
 	case typeData:
 		pr := r.recvState(src)
 		switch {
@@ -245,36 +282,58 @@ func (r *RLL) DeliverUp(fr *ether.Frame) {
 			r.Stats.Delivered++
 			r.sendAck(src, pr.expected)
 			r.deliverInner(fr, inner)
-		case seq < pr.expected:
+		case serialLT(seq, pr.expected):
 			// Duplicate of something already delivered: re-ack so the
 			// sender can advance.
 			r.Stats.Duplicates++
 			r.sendAck(src, pr.expected)
+			r.pool.Put(fr)
 		default:
 			// Gap: go-back-N discards and re-acks the last good.
 			r.Stats.OutOfOrder++
 			r.sendAck(src, pr.expected)
+			r.pool.Put(fr)
 		}
 	}
 }
 
+// serialLT reports a < b in RFC 1982 serial-number arithmetic: a precedes
+// b when the forward distance from a to b is in (0, 2^31). Sequence
+// numbers wrap on long high-volume runs, so plain uint32 ordering would
+// stall the window (handleAck) and misclassify frames (DeliverUp) at the
+// boundary.
+func serialLT(a, b uint32) bool { return int32(a-b) < 0 }
+
 // deliverInner reconstructs the inner frame (outer addresses + carried
-// bytes) and passes it up.
+// bytes) and passes it up. The upcall frame comes from the pool and the
+// spent outer frame goes back to it: the inner bytes are copied out, so
+// nothing retains the outer buffer, while the upcall frame transfers to
+// the receiver per the ownership protocol (never recycled by us).
 func (r *RLL) deliverInner(outer *ether.Frame, inner []byte) {
-	data := make([]byte, 12+len(inner))
-	copy(data, outer.Data[0:12]) // dst + src are shared with the outer frame
-	copy(data[12:], inner)
-	r.base.PassUp(&ether.Frame{Data: data, ID: outer.ID})
+	up := r.pool.Get(12 + len(inner))
+	copy(up.Data, outer.Data[0:12]) // dst + src are shared with the outer frame
+	copy(up.Data[12:], inner)
+	up.ID = outer.ID
+	r.pool.Put(outer)
+	r.base.PassUp(up)
 }
 
 func (r *RLL) handleAck(peer packet.MAC, ack uint32) {
 	ps := r.sendState(peer)
-	if ack <= ps.base {
+	if ps.resync && !serialLT(ack, ps.base) {
+		// The peer has caught up to (or past) the post-give-up base: the
+		// stream is in sync again, stop sending reset markers.
+		ps.resync = false
+	}
+	if !serialLT(ps.base, ack) {
 		return
 	}
 	advanced := ack - ps.base
-	if int(advanced) > len(ps.inflight) {
+	if advanced > uint32(len(ps.inflight)) {
 		advanced = uint32(len(ps.inflight))
+	}
+	for _, enc := range ps.inflight[:advanced] {
+		r.pool.Put(enc) // acked: only clones ever hit the wire
 	}
 	ps.inflight = ps.inflight[advanced:]
 	ps.base += advanced
@@ -306,16 +365,24 @@ func (r *RLL) timeout(peer packet.MAC, ps *peerSend) {
 		// keep trying with the rest: a FAIL-ed node must not wedge the
 		// sender forever.
 		r.Stats.GaveUp++
+		r.pool.Put(ps.inflight[0])
 		ps.inflight = ps.inflight[1:]
 		ps.base++
 		ps.retries = 0
+		// The abandoned frame leaves a hole a live receiver would treat
+		// as a permanent gap; announce the new base until it acks past it.
+		ps.resync = true
 		r.fillWindow(ps)
 		if len(ps.inflight) == 0 {
+			r.sendReset(peer, ps.base)
 			return
 		}
 	}
+	if ps.resync {
+		r.sendReset(peer, ps.base)
+	}
 	for _, enc := range ps.inflight {
-		r.transmit(enc.Clone())
+		r.transmit(enc)
 		r.Stats.DataRetrans++
 	}
 	// Exponential backoff: a retransmission that was itself premature
@@ -339,14 +406,49 @@ func (r *RLL) fillWindow(ps *peerSend) {
 }
 
 func (r *RLL) sendAck(peer packet.MAC, ack uint32) {
-	b := make([]byte, packet.EthHeaderLen+headerLen)
+	r.Stats.AcksSent++
+	r.sendBare(peer, typeAck, 0, ack)
+}
+
+// sendReset announces the post-give-up stream base so a live receiver
+// jumps forward instead of gap-dropping forever. It is repeated with
+// every retransmission round until the peer acks past the base, so a
+// lost reset cannot leave the stream desynchronized.
+func (r *RLL) sendReset(peer packet.MAC, seq uint32) {
+	r.Stats.ResetsSent++
+	r.sendBare(peer, typeReset, seq, 0)
+}
+
+// sendBare emits a header-only RLL frame (ack or reset).
+func (r *RLL) sendBare(peer packet.MAC, typ byte, seq, ack uint32) {
+	fr := r.pool.Get(packet.EthHeaderLen + headerLen)
+	b := fr.Data
 	packet.PutEth(b, packet.Eth{Dst: peer, Src: r.mac, Type: EtherType})
 	hdr := b[packet.EthHeaderLen:]
-	hdr[0] = typeAck
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], seq)
 	binary.BigEndian.PutUint32(hdr[5:], ack)
 	binary.BigEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], nil))
-	r.Stats.AcksSent++
-	r.base.PassDown(&ether.Frame{Data: b})
+	r.base.PassDown(fr)
+}
+
+// FrameTypeName names an RLL frame's type from its raw outer bytes, for
+// trace summaries.
+func FrameTypeName(data []byte) string {
+	if len(data) <= packet.EthHeaderLen {
+		return "short"
+	}
+	switch data[packet.EthHeaderLen] {
+	case typeData:
+		return "data"
+	case typeAck:
+		return "ack"
+	case typeUnreliable:
+		return "unreliable"
+	case typeReset:
+		return "reset"
+	}
+	return "unknown"
 }
 
 // frameCRC covers the RLL header fields and the carried inner bytes.
@@ -358,12 +460,13 @@ func frameCRC(hdr, inner []byte) uint32 {
 func (r *RLL) transmit(enc *ether.Frame) {
 	// Always hand the medium its own copy: a retransmission must not
 	// race with a queued original.
-	r.base.PassDown(enc.Clone())
+	r.base.PassDown(r.pool.Clone(enc))
 }
 
 func (r *RLL) encap(fr *ether.Frame, typ byte, seq, ack uint32) *ether.Frame {
 	inner := fr.Data[12:] // from the inner ethertype onward
-	b := make([]byte, packet.EthHeaderLen+headerLen+len(inner))
+	enc := r.pool.Get(packet.EthHeaderLen + headerLen + len(inner))
+	b := enc.Data
 	packet.PutEth(b, packet.Eth{Dst: fr.Dst(), Src: r.mac, Type: EtherType})
 	hdr := b[packet.EthHeaderLen:]
 	hdr[0] = typ
@@ -371,7 +474,8 @@ func (r *RLL) encap(fr *ether.Frame, typ byte, seq, ack uint32) *ether.Frame {
 	binary.BigEndian.PutUint32(hdr[5:], ack)
 	binary.BigEndian.PutUint32(hdr[9:], frameCRC(hdr[:9], inner))
 	copy(b[packet.EthHeaderLen+headerLen:], inner)
-	return &ether.Frame{Data: b, ID: fr.ID}
+	enc.ID = fr.ID
+	return enc
 }
 
 func (r *RLL) sendState(peer packet.MAC) *peerSend {

@@ -163,7 +163,8 @@ func Summarize(fr *ether.Frame) string {
 	case packet.EtherTypeVWCtl:
 		return "vwire control"
 	case rll.EtherType:
-		return fmt.Sprintf("rll %s -> %s (%dB encapsulated)", eth.Src, eth.Dst,
+		return fmt.Sprintf("rll %s %s -> %s (%dB encapsulated)",
+			rll.FrameTypeName(fr.Data), eth.Src, eth.Dst,
 			len(fr.Data)-packet.EthHeaderLen)
 	}
 	return fmt.Sprintf("ethertype 0x%04x %s -> %s", eth.Type, eth.Src, eth.Dst)

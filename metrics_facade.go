@@ -141,6 +141,9 @@ func (n *Node) SnapshotLayers() []string {
 func (tb *Testbed) registerMetricSources() {
 	tb.reg.RegisterSource(MetricsNode, "scheduler", tb.sched.Snapshot)
 	tb.reg.RegisterSource(MetricsNode, "pool", tb.pool.Snapshot)
+	if tb.ctl != nil {
+		tb.reg.RegisterSource(MetricsNode, "controller", tb.ctl.Snapshot)
+	}
 	if tb.sw != nil {
 		tb.reg.RegisterSource(MetricsNode, "switch", tb.sw.Snapshot)
 	}

@@ -97,6 +97,19 @@ type Config struct {
 	// ControlNode names the host carrying the programming front-end;
 	// default is the script's first node.
 	ControlNode string
+	// LaunchRetryInterval is the base virtual-time interval at which the
+	// controller re-sends INIT chunks to nodes that have not acknowledged
+	// (default core.DefaultInitRetryInterval). Rounds back off
+	// exponentially.
+	LaunchRetryInterval time.Duration
+	// LaunchMaxAttempts bounds INIT distributions per node (default
+	// core.DefaultInitMaxAttempts).
+	LaunchMaxAttempts int
+	// LaunchDeadline bounds the launch phase (default
+	// core.DefaultLaunchDeadline): if any node stays silent past it, the
+	// run terminates with Result.LaunchFailed and the silent nodes in
+	// Report.Unreachable instead of waiting forever.
+	LaunchDeadline time.Duration
 	// Pcap, when non-nil, receives a live libpcap-format capture of all
 	// frames traversing PcapNode's interface (tcpdump/Wireshark
 	// compatible).
@@ -315,6 +328,7 @@ func (tb *Testbed) AddHost(name, mac, ip string) (*Node, error) {
 	n.engine.UseIndexedClassifier = tb.cfg.IndexedClassifier
 	if tb.cfg.RLL {
 		n.rll = rll.New(tb.sched, m, rll.Config{Window: tb.cfg.RLLWindow})
+		n.rll.SetPool(tb.pool)
 		h.NIC.DeliverCorrupt = true // the RLL validates its own CRC
 	}
 	tb.nodes = append(tb.nodes, n)
@@ -485,6 +499,15 @@ func (tb *Testbed) build() error {
 		if err != nil {
 			return err
 		}
+		if tb.cfg.LaunchRetryInterval > 0 {
+			ctl.InitRetryInterval = tb.cfg.LaunchRetryInterval
+		}
+		if tb.cfg.LaunchMaxAttempts > 0 {
+			ctl.InitMaxAttempts = tb.cfg.LaunchMaxAttempts
+		}
+		if tb.cfg.LaunchDeadline > 0 {
+			ctl.LaunchDeadline = tb.cfg.LaunchDeadline
+		}
 		tb.ctl = ctl
 	}
 	tb.registerMetricSources()
@@ -532,6 +555,9 @@ type Report struct {
 	// Errors collects every FLAG_ERR report, in arrival order (the same
 	// data as Result.Errors / Testbed.ScenarioResult).
 	Errors []ErrorReport
+	// Unreachable names the nodes that never acknowledged INIT when the
+	// launch was abandoned (Result.LaunchFailed); empty otherwise.
+	Unreachable []string
 	// Metrics digests the instrument registry at run end; the full
 	// series is available from Testbed.MetricsSeries.
 	Metrics MetricsSummary
@@ -589,6 +615,9 @@ func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
 	if tb.ctl != nil {
 		rep.Result = tb.ctl.Result()
 		rep.Passed = rep.Result.Passed(tb.prog.InactivityTimeout > 0)
+		for _, nid := range rep.Result.Unreachable {
+			rep.Unreachable = append(rep.Unreachable, tb.prog.Nodes[nid].Name)
+		}
 	} else {
 		rep.Passed = true
 	}
