@@ -1,0 +1,67 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestThousandRunAcceptance is the campaign subsystem's acceptance
+// matrix: 1000 runs (250 seeds × 4 bit-error rates) of the quickstart
+// drop scenario. The 8-worker aggregate (JSONL and summary) must be
+// byte-identical to the serial one.
+func TestThousandRunAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-run matrix skipped in -short mode")
+	}
+	spec := quickstartSpec(250, []float64{0, 1e-7, 1e-6, 1e-5})
+	spec.Workloads[0].Bytes = 8 * 1024
+	if n := spec.Runs(); n != 1000 {
+		t.Fatalf("matrix size = %d, want 1000", n)
+	}
+	spec.Timeout = Duration(time.Minute)
+
+	serialSink, serialSum := runToBytes(t, spec, 1)
+	parSink, parSum := runToBytes(t, spec, 8)
+	if !bytes.Equal(serialSink, parSink) {
+		t.Error("8-worker JSONL differs from serial")
+	}
+	if !bytes.Equal(serialSum, parSum) {
+		t.Error("8-worker summary differs from serial")
+	}
+	if got := bytes.Count(serialSink, []byte("\n")); got != 1000 {
+		t.Errorf("sink lines = %d, want 1000", got)
+	}
+}
+
+// TestCancellationIsPrompt bounds how long cancellation takes to stop a
+// large in-flight campaign (the event-loop poll granularity is 64
+// events, so this is generous).
+func TestCancellationIsPrompt(t *testing.T) {
+	spec := quickstartSpec(200, []float64{0, 1e-6}) // 400 runs
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	start := time.Now()
+	var canceledAt time.Time
+	_, err := Run(ctx, spec, Options{
+		Workers: 8,
+		OnRecord: func(RunRecord) {
+			done++
+			if done == 20 {
+				canceledAt = time.Now()
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("campaign ran to completion despite cancel")
+	}
+	if canceledAt.IsZero() {
+		t.Fatalf("campaign finished before 20 records (took %v)", time.Since(start))
+	}
+	if lag := time.Since(canceledAt); lag > 5*time.Second {
+		t.Errorf("cancellation took %v to unwind", lag)
+	}
+}

@@ -1,0 +1,40 @@
+package campaign
+
+import (
+	"context"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// benchSpec is a 16-run quickstart matrix; small enough to iterate,
+// large enough to exercise the pool, window and ordered collector.
+func benchSpec() Spec {
+	spec := quickstartSpec(8, []float64{0, 1e-6})
+	spec.Workloads[0].Bytes = 8 * 1024
+	return spec
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	spec := benchSpec()
+	runs := spec.Runs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, err := Run(context.Background(), spec, Options{Workers: workers, Sink: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.Passed != runs {
+			b.Fatalf("passed %d/%d", sum.Passed, runs)
+		}
+	}
+	b.ReportMetric(float64(runs*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+// BenchmarkCampaignSerial measures per-run cost without pool overhead.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel measures campaign throughput at the default
+// worker count; runs/s versus the serial figure shows executor scaling.
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.GOMAXPROCS(0)) }

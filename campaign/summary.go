@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"virtualwire/internal/metrics"
+)
+
+// Distribution is the order-statistics summary used for campaign-level
+// measurement percentiles (re-exported from the metrics layer).
+type Distribution = metrics.Distribution
+
+// Summary aggregates a campaign: outcome counts, retry accounting,
+// fault/error totals, measurement percentiles and rolled-up metric
+// counters. Like RunRecord it contains no wall-clock data, so equal
+// campaigns marshal to identical bytes on any worker count.
+type Summary struct {
+	// Name and Seed echo the spec.
+	Name string `json:"name,omitempty"`
+	Seed int64  `json:"seed"`
+	// Runs is the planned matrix size; Completed counts records
+	// actually flushed (less than Runs after cancellation).
+	Runs      int `json:"runs"`
+	Completed int `json:"completed"`
+	// Outcome tallies.
+	Passed       int `json:"passed"`
+	Failed       int `json:"failed"`
+	LaunchFailed int `json:"launch_failed,omitempty"`
+	Timeouts     int `json:"timeouts,omitempty"`
+	Errored      int `json:"errored,omitempty"`
+	Canceled     int `json:"canceled,omitempty"`
+	// Outcomes maps every outcome label to its count (includes
+	// canceled in-flight runs, which have no sink record).
+	Outcomes map[string]int `json:"outcomes"`
+	// Interrupted is set when the campaign did not flush every planned
+	// run (cancellation or a sink failure).
+	Interrupted bool `json:"interrupted,omitempty"`
+	// Retried counts runs needing more than one attempt; Attempts sums
+	// attempts across completed runs.
+	Retried  int `json:"retried,omitempty"`
+	Attempts int `json:"attempts"`
+	// Fault-injection totals across completed runs.
+	FaultsInjected int `json:"faults_injected"`
+	FlaggedErrors  int `json:"flagged_errors"`
+	// Events and VirtualTime sum the per-run scheduler work.
+	Events      uint64   `json:"events"`
+	VirtualTime Duration `json:"virtual_time"`
+	// GoodputMbps summarizes tcpbulk goodput across runs that moved
+	// data; RTTNanos summarizes udpecho mean round-trip times (ns).
+	GoodputMbps *Distribution `json:"goodput_mbps,omitempty"`
+	RTTNanos    *Distribution `json:"rtt_ns,omitempty"`
+	// MetricsTotals rolls up every run's counter totals ("layer/name").
+	MetricsTotals map[string]float64 `json:"metrics_totals,omitempty"`
+}
+
+// WriteJSON writes the summary as indented JSON. Map keys marshal
+// sorted, so output is deterministic.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Text renders a compact human-readable summary.
+func (s *Summary) Text() string {
+	var b strings.Builder
+	name := s.Name
+	if name == "" {
+		name = "campaign"
+	}
+	fmt.Fprintf(&b, "%s (seed %d): %d/%d runs completed", name, s.Seed, s.Completed, s.Runs)
+	if s.Interrupted {
+		b.WriteString(" [interrupted]")
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  outcomes: %d pass, %d fail", s.Passed, s.Failed)
+	if s.LaunchFailed > 0 {
+		fmt.Fprintf(&b, ", %d launch-failed", s.LaunchFailed)
+	}
+	if s.Timeouts > 0 {
+		fmt.Fprintf(&b, ", %d timeout", s.Timeouts)
+	}
+	if s.Errored > 0 {
+		fmt.Fprintf(&b, ", %d error", s.Errored)
+	}
+	if s.Canceled > 0 {
+		fmt.Fprintf(&b, ", %d canceled", s.Canceled)
+	}
+	b.WriteString("\n")
+	if s.Retried > 0 {
+		fmt.Fprintf(&b, "  retries: %d runs retried (%d attempts total)\n", s.Retried, s.Attempts)
+	}
+	fmt.Fprintf(&b, "  faults injected: %d, flagged errors: %d\n", s.FaultsInjected, s.FlaggedErrors)
+	fmt.Fprintf(&b, "  simulated: %v virtual time, %d events\n", time.Duration(s.VirtualTime), s.Events)
+	if d := s.GoodputMbps; d != nil {
+		fmt.Fprintf(&b, "  goodput Mbps: p50 %.3f, p90 %.3f, p99 %.3f (min %.3f, max %.3f, mean %.3f, n=%d)\n",
+			d.P50, d.P90, d.P99, d.Min, d.Max, d.Mean, d.Count)
+	}
+	if d := s.RTTNanos; d != nil {
+		fmt.Fprintf(&b, "  mean RTT: p50 %v, p90 %v, p99 %v (min %v, max %v, n=%d)\n",
+			time.Duration(d.P50), time.Duration(d.P90), time.Duration(d.P99),
+			time.Duration(d.Min), time.Duration(d.Max), d.Count)
+	}
+	if len(s.MetricsTotals) > 0 {
+		keys := make([]string, 0, len(s.MetricsTotals))
+		for k := range s.MetricsTotals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "  metric totals (%d counters):\n", len(keys))
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    %-40s %g\n", k, s.MetricsTotals[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+// Command vwcampaign executes a scenario matrix — a campaign — across a
+// bounded worker pool, streaming one JSON record per run to a JSONL
+// file and printing an aggregate summary. Equal specs and seeds give
+// byte-identical output at any -workers value.
+//
+// The matrix comes either from a JSON spec file (-spec, see
+// docs/CAMPAIGNS.md for the schema) or from quick flags that cross a
+// script with a seed axis and an optional bit-error-rate axis:
+//
+//	# 1000 runs: 250 seeds x 4 bit error rates, 8 workers:
+//	vwcampaign -script scripts/quickstart_drop.fsl \
+//	    -tcp node1:0x6000-node2:0x4000:65536 \
+//	    -seeds 250 -ber 0,1e-7,1e-6,1e-5 -workers 8 \
+//	    -out runs.jsonl -summary text
+//
+//	# Same matrix from a spec file, JSON summary:
+//	vwcampaign -spec campaign.json -out runs.jsonl -summary json
+//
+// The exit status is 0 when every run completed and passed, 1 on a
+// campaign-level failure, and 2 when runs failed or were cut short.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"virtualwire/campaign"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vwcampaign:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	specPath := flag.String("spec", "", "JSON campaign spec file (alternative to the quick flags)")
+	scriptPath := flag.String("script", "", "FSL scenario file for a quick-flag campaign")
+	scenario := flag.String("scenario", "", "scenario name from a multi-scenario script")
+	nodesPath := flag.String("nodes", "", "FSL file supplying the NODE_TABLE (default: the script)")
+	seed := flag.Int64("seed", 1, "campaign master seed")
+	seeds := flag.Int("seeds", 1, "seed axis size (per-run seeds derive from -seed and the run index)")
+	bers := flag.String("ber", "", "comma-separated bit error rates forming the config axis")
+	rll := flag.Bool("rll", false, "insert the Reliable Link Layer in every run")
+	medium := flag.String("medium", "", "testbed medium: switch, bus or fdswitch")
+	tcpSpec := flag.String("tcp", "", "TCP bulk workload: from:port-to:port:bytes")
+	echoSpec := flag.String("echo", "", "UDP echo workload: client-server:port:count")
+	horizon := flag.Duration("horizon", 60*time.Second, "virtual-time horizon per run")
+	timeout := flag.Duration("timeout", 0, "wall-clock timeout per run (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for transiently failing runs")
+	workers := flag.Int("workers", 0, "concurrent runs (0 = GOMAXPROCS; never affects output bytes)")
+	outPath := flag.String("out", "", "write one JSON record per run to this JSONL file")
+	summaryMode := flag.String("summary", "text", "summary format: text, json or none")
+	summaryOut := flag.String("summary-out", "", "write the summary here instead of stdout")
+	progress := flag.Bool("progress", false, "print per-run progress lines to stderr")
+	flag.Parse()
+
+	var spec campaign.Spec
+	switch {
+	case *specPath != "":
+		if *scriptPath != "" {
+			return 1, fmt.Errorf("-spec and -script are mutually exclusive")
+		}
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			return 1, err
+		}
+		dec := json.NewDecoder(strings.NewReader(string(raw)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return 1, fmt.Errorf("%s: %w", *specPath, err)
+		}
+	case *scriptPath != "":
+		src, err := os.ReadFile(*scriptPath)
+		if err != nil {
+			return 1, err
+		}
+		spec = campaign.Spec{
+			Name:      strings.TrimSuffix(*scriptPath, ".fsl"),
+			Seed:      *seed,
+			SeedCount: *seeds,
+			Script:    string(src),
+			Scenario:  *scenario,
+			Horizon:   campaign.Duration(*horizon),
+			Timeout:   campaign.Duration(*timeout),
+			Retries:   *retries,
+		}
+		if *nodesPath != "" {
+			nsrc, err := os.ReadFile(*nodesPath)
+			if err != nil {
+				return 1, err
+			}
+			spec.Nodes = string(nsrc)
+		}
+		if *bers != "" {
+			for _, f := range strings.Split(*bers, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if err != nil {
+					return 1, fmt.Errorf("-ber: %w", err)
+				}
+				ber := v
+				spec.Configs = append(spec.Configs, campaign.ConfigOverride{
+					Label:        "ber=" + f,
+					Medium:       *medium,
+					BitErrorRate: &ber,
+				})
+			}
+		} else if *medium != "" || *rll {
+			spec.Configs = []campaign.ConfigOverride{{Medium: *medium}}
+		}
+		if *rll {
+			on := true
+			for i := range spec.Configs {
+				spec.Configs[i].RLL = &on
+			}
+		}
+		if *tcpSpec != "" {
+			wl, err := parseTCPSpec(*tcpSpec)
+			if err != nil {
+				return 1, fmt.Errorf("-tcp: %w", err)
+			}
+			spec.Workloads = append(spec.Workloads, wl)
+		}
+		if *echoSpec != "" {
+			wl, err := parseEchoSpec(*echoSpec)
+			if err != nil {
+				return 1, fmt.Errorf("-echo: %w", err)
+			}
+			spec.Workloads = append(spec.Workloads, wl)
+		}
+	default:
+		flag.Usage()
+		return 1, fmt.Errorf("one of -spec or -script is required")
+	}
+
+	opts := campaign.Options{Workers: *workers}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		opts.Sink = f
+	}
+	total := spec.Runs()
+	if *progress {
+		opts.OnRecord = func(r campaign.RunRecord) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-30s %s (seed %d, %d attempt(s))\n",
+				r.Index+1, total, r.Label, r.Outcome, r.Seed, r.Attempts)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the campaign; finished records stay flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sum, runErr := campaign.Run(ctx, spec, opts)
+	if sum == nil {
+		return 1, runErr
+	}
+
+	out := os.Stdout
+	if *summaryOut != "" {
+		f, err := os.Create(*summaryOut)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *summaryMode {
+	case "text":
+		fmt.Fprint(out, sum.Text())
+	case "json":
+		if err := sum.WriteJSON(out); err != nil {
+			return 1, err
+		}
+	case "none":
+	default:
+		return 1, fmt.Errorf("unknown -summary %q (want text, json or none)", *summaryMode)
+	}
+
+	if runErr != nil {
+		return 2, fmt.Errorf("campaign interrupted: %w", runErr)
+	}
+	if sum.Passed != sum.Runs {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// parseTCPSpec parses from:port-to:port:bytes (ports accept 0x...).
+func parseTCPSpec(s string) (campaign.WorkloadSpec, error) {
+	var wl campaign.WorkloadSpec
+	halves := strings.SplitN(s, "-", 2)
+	if len(halves) != 2 {
+		return wl, fmt.Errorf("want from:port-to:port:bytes")
+	}
+	fp := strings.Split(halves[0], ":")
+	tp := strings.Split(halves[1], ":")
+	if len(fp) != 2 || len(tp) != 3 {
+		return wl, fmt.Errorf("want from:port-to:port:bytes")
+	}
+	sport, err := strconv.ParseUint(fp[1], 0, 16)
+	if err != nil {
+		return wl, err
+	}
+	dport, err := strconv.ParseUint(tp[1], 0, 16)
+	if err != nil {
+		return wl, err
+	}
+	bytes, err := strconv.Atoi(tp[2])
+	if err != nil {
+		return wl, err
+	}
+	wl.Kind = "tcpbulk"
+	wl.From, wl.To = fp[0], tp[0]
+	wl.SrcPort, wl.DstPort = uint16(sport), uint16(dport)
+	wl.Bytes = bytes
+	return wl, nil
+}
+
+// parseEchoSpec parses client-server:port:count.
+func parseEchoSpec(s string) (campaign.WorkloadSpec, error) {
+	var wl campaign.WorkloadSpec
+	halves := strings.SplitN(s, "-", 2)
+	if len(halves) != 2 {
+		return wl, fmt.Errorf("want client-server:port:count")
+	}
+	sp := strings.Split(halves[1], ":")
+	if len(sp) != 3 {
+		return wl, fmt.Errorf("want client-server:port:count")
+	}
+	port, err := strconv.ParseUint(sp[1], 0, 16)
+	if err != nil {
+		return wl, err
+	}
+	count, err := strconv.Atoi(sp[2])
+	if err != nil {
+		return wl, err
+	}
+	wl.Kind = "udpecho"
+	wl.From, wl.To = halves[0], sp[0]
+	wl.DstPort = uint16(port)
+	wl.Count = count
+	return wl, nil
+}

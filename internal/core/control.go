@@ -113,10 +113,10 @@ func decodeProgram(b []byte) (*Program, error) {
 
 // ErrorReport is one FLAG_ERR occurrence collected by the controller.
 type ErrorReport struct {
-	Node NodeID
-	Rule int
-	At   time.Duration
-	Text string
+	Node NodeID        `json:"node"`
+	Rule int           `json:"rule"`
+	At   time.Duration `json:"at_ns"`
+	Text string        `json:"text"`
 }
 
 func (e ErrorReport) String() string {

@@ -13,27 +13,27 @@ import (
 type Result struct {
 	// Started reports that every engine acknowledged INIT and the
 	// scenario was broadcast-started.
-	Started bool
+	Started bool `json:"started"`
 	// StartedAt is the virtual time of the START broadcast.
-	StartedAt time.Duration
+	StartedAt time.Duration `json:"started_at_ns,omitempty"`
 	// Stopped reports an explicit STOP action ended the scenario.
-	Stopped bool
+	Stopped bool `json:"stopped"`
 	// StoppedAt is when the STOP (or inactivity) was processed.
-	StoppedAt time.Duration
+	StoppedAt time.Duration `json:"stopped_at_ns,omitempty"`
 	// Inactivity reports the scenario ended because no monitored packet
 	// event occurred within the script's inactivity timeout — per
 	// Section 6.2 this is a distinct (usually failing) outcome.
-	Inactivity bool
+	Inactivity bool `json:"inactivity,omitempty"`
 	// LaunchFailed reports that INIT distribution gave up: one or more
 	// nodes never acknowledged within the launch deadline (crashed or
 	// partitioned before the scenario could start). The run is terminal —
 	// degraded-but-reported rather than an infinite wait for acks.
-	LaunchFailed bool
+	LaunchFailed bool `json:"launch_failed,omitempty"`
 	// Unreachable lists the nodes that never acknowledged INIT when the
 	// launch was abandoned, in node-ID order. Empty unless LaunchFailed.
-	Unreachable []NodeID
+	Unreachable []NodeID `json:"unreachable,omitempty"`
 	// Errors collects every FLAG_ERR report, in arrival order.
-	Errors []ErrorReport
+	Errors []ErrorReport `json:"errors,omitempty"`
 }
 
 // Passed reports the conventional success criterion: the run started,

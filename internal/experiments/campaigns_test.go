@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"virtualwire/campaign"
+)
+
+// smallFig7 keeps the equality tests fast: two rates, short pacing.
+func smallFig7() Fig7Config {
+	return Fig7Config{
+		OfferedMbps: []float64{20, 60},
+		Duration:    100 * time.Millisecond,
+		Filters:     5,
+		Actions:     5,
+		Seed:        11,
+	}
+}
+
+func smallFig8() Fig8Config {
+	return Fig8Config{
+		FilterCounts: []int{1, 10},
+		Pings:        40,
+		Interval:     time.Millisecond,
+		Actions:      5,
+		Seed:         23,
+	}
+}
+
+// TestFig7CampaignMatchesDriver: the campaign form of the Figure 7
+// sweep reproduces RunFig7's points bit for bit, at several worker
+// counts.
+func TestFig7CampaignMatchesDriver(t *testing.T) {
+	want, err := RunFig7(smallFig7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, sum, err := RunFig7Campaign(context.Background(), smallFig7(), campaign.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d point %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+		if sum.Passed != sum.Runs || sum.Runs != 3*len(want) {
+			t.Errorf("workers=%d summary: %d/%d passed", workers, sum.Passed, sum.Runs)
+		}
+	}
+}
+
+// TestFig8CampaignMatchesDriver: same guarantee for Figure 8.
+func TestFig8CampaignMatchesDriver(t *testing.T) {
+	want, err := RunFig8(smallFig8())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sum, err := RunFig8Campaign(context.Background(), smallFig8(), campaign.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if sum.Runs != 1+3*len(want) || sum.Passed != sum.Runs {
+		t.Errorf("summary: %d/%d passed", sum.Passed, sum.Runs)
+	}
+}

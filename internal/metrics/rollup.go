@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Rollup accumulates per-run counter totals into campaign-level totals.
+// Each run contributes its RunReport metrics digest (counter sums keyed
+// "layer/name"); the rollup adds them across runs so a campaign summary
+// can report, for example, total packets intercepted or faults injected
+// over thousands of runs without retaining any per-run registry.
+//
+// Rollup is not safe for concurrent use; the campaign executor feeds it
+// from the single collector goroutine, in run-index order, which also
+// keeps the accumulated floating-point sums deterministic.
+type Rollup struct {
+	totals map[string]float64
+	runs   int
+}
+
+// NewRollup returns an empty rollup.
+func NewRollup() *Rollup {
+	return &Rollup{totals: make(map[string]float64)}
+}
+
+// Add folds one run's counter totals into the rollup.
+func (r *Rollup) Add(totals map[string]float64) {
+	r.runs++
+	for k, v := range totals {
+		r.totals[k] += v
+	}
+}
+
+// Runs reports how many runs have been folded in.
+func (r *Rollup) Runs() int { return r.runs }
+
+// Totals returns a copy of the accumulated totals, keyed "layer/name".
+func (r *Rollup) Totals() map[string]float64 {
+	out := make(map[string]float64, len(r.totals))
+	for k, v := range r.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// Distribution summarizes a set of scalar observations — one value per
+// campaign run, e.g. goodput or mean RTT — with exact order statistics.
+type Distribution struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Summarize computes a Distribution over values. The input slice is not
+// modified. Percentiles are exact (nearest-rank on the sorted values),
+// so equal multisets give byte-identical summaries regardless of input
+// order; the mean is computed from the sorted order for the same reason.
+func Summarize(values []float64) Distribution {
+	if len(values) == 0 {
+		return Distribution{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Distribution{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+		P50:   Quantile(sorted, 0.50),
+		P90:   Quantile(sorted, 0.90),
+		P99:   Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of an ascending
+// sorted slice using the nearest-rank method: the smallest value with at
+// least ceil(q*n) observations at or below it. It returns 0 on an empty
+// slice.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

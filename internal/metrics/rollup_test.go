@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRollupAccumulates(t *testing.T) {
+	r := NewRollup()
+	r.Add(map[string]float64{"engine/drops": 2, "nic/tx_frames": 10})
+	r.Add(map[string]float64{"engine/drops": 3, "tcp/retrans": 1})
+	if r.Runs() != 2 {
+		t.Fatalf("Runs = %d", r.Runs())
+	}
+	got := r.Totals()
+	want := map[string]float64{"engine/drops": 5, "nic/tx_frames": 10, "tcp/retrans": 1}
+	if len(got) != len(want) {
+		t.Fatalf("totals = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("totals[%q] = %v, want %v", k, got[k], v)
+		}
+	}
+	// Totals returns a copy: mutating it must not leak back.
+	got["engine/drops"] = 99
+	if r.Totals()["engine/drops"] != 5 {
+		t.Error("Totals aliases internal state")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.1, 1}, {0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v", got)
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	a := Summarize(vals)
+	shuffled := append([]float64(nil), vals...)
+	rand.New(rand.NewSource(7)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	b := Summarize(shuffled)
+	if a != b {
+		t.Fatalf("summaries differ across input order: %+v vs %+v", a, b)
+	}
+	if a.Count != 101 || a.Min != 0 || a.Max != 100 || a.P50 != 50 {
+		t.Errorf("summary = %+v", a)
+	}
+	if got := Summarize(nil); got != (Distribution{}) {
+		t.Errorf("Summarize(empty) = %+v", got)
+	}
+}

@@ -144,6 +144,18 @@ func (s *Scheduler) Executed() uint64 { return s.executed }
 // Cancelled events are reaped eagerly, so they never linger here.
 func (s *Scheduler) Pending() int { return len(s.queue) }
 
+// PeekTime returns the timestamp of the earliest pending event, or false
+// when the queue is empty. It lets an external run loop reproduce
+// RunUntil's horizon semantics (never execute an event past the horizon)
+// while interleaving its own checks — cancellation polling, scenario
+// completion — between events.
+func (s *Scheduler) PeekTime() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
 // Snapshot implements the uniform metrics hook for the scheduler itself:
 // how much work the simulation has done and how much is queued.
 func (s *Scheduler) Snapshot() metrics.Snapshot {

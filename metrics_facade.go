@@ -59,18 +59,18 @@ func WriteMetricsPrometheus(w io.Writer, samples []MetricsSample) error {
 	return metrics.WritePrometheus(w, samples)
 }
 
-// MetricsSummary condenses the registry at run end for the Report.
+// MetricsSummary condenses the registry at run end for the RunReport.
 type MetricsSummary struct {
 	// Instruments is the number of distinct readings gathered.
-	Instruments int
+	Instruments int `json:"instruments"`
 	// SampledPoints is how many time-series points the sampler holds.
-	SampledPoints int
+	SampledPoints int `json:"sampled_points,omitempty"`
 	// SampleInterval echoes Config.MetricsSampleInterval.
-	SampleInterval time.Duration
+	SampleInterval time.Duration `json:"sample_interval_ns,omitempty"`
 	// Totals sums the final counter readings across nodes, keyed
 	// "layer/name" (gauges and histograms are omitted: summing
 	// instantaneous values across nodes rarely means anything).
-	Totals map[string]float64
+	Totals map[string]float64 `json:"totals,omitempty"`
 }
 
 func (tb *Testbed) metricsSummary() MetricsSummary {

@@ -1,0 +1,153 @@
+package virtualwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RunReport is the unified outcome of a Run/RunContext: one
+// JSON-marshalable value carrying the full result — scenario verdict,
+// injection journal, flagged errors, unreachable nodes, per-node layer
+// readings and a metrics digest — so callers no longer stitch it
+// together from ScenarioResult, Summary, InjectedFaults and per-node
+// accessors.
+type RunReport struct {
+	// Scenario is the staged scenario's name; empty when no script was
+	// loaded.
+	Scenario string `json:"scenario,omitempty"`
+	// Seed echoes Config.Seed: together with the testbed construction
+	// calls it identifies the run completely (equal seeds, equal runs).
+	Seed int64 `json:"seed"`
+	// Verdict condenses the outcome to one word: "passed", "flagged",
+	// "inactivity", "launch_failed", "not_started", "horizon" (ran to
+	// the horizon without an explicit STOP), or "no_scenario".
+	Verdict string `json:"verdict"`
+	// Result is the scenario outcome; zero-valued when no script was
+	// loaded.
+	Result Result `json:"result"`
+	// Passed applies the conventional criterion: started, no flagged
+	// errors, and an explicit STOP when the script declares an
+	// inactivity timeout.
+	Passed bool `json:"passed"`
+	// Duration is the virtual time the run covered.
+	Duration time.Duration `json:"virtual_ns"`
+	// Events is the number of simulation events executed.
+	Events uint64 `json:"events"`
+	// Faults is the run's injection journal, merged across nodes in
+	// time order (the same data Testbed.InjectedFaults returns).
+	Faults []InjectedFault `json:"faults,omitempty"`
+	// Errors collects every FLAG_ERR report, in arrival order.
+	Errors []ErrorReport `json:"errors,omitempty"`
+	// Unreachable names the nodes that never acknowledged INIT when the
+	// launch was abandoned (Result.LaunchFailed); empty otherwise.
+	Unreachable []string `json:"unreachable,omitempty"`
+	// Nodes carries each host's per-layer instrument readings at run
+	// end — the data Summary used to render, in a structured form.
+	Nodes []NodeReport `json:"nodes,omitempty"`
+	// Metrics digests the instrument registry at run end; the full
+	// series is available from Testbed.MetricsSeries.
+	Metrics MetricsSummary `json:"metrics"`
+}
+
+// Report is the former name of RunReport.
+//
+// Deprecated: use RunReport.
+type Report = RunReport
+
+// NodeReport is one host's slice of a RunReport: its terminal state and
+// every layer's instrument readings (the same values Node.Snapshot
+// returns, keyed layer then metric name).
+type NodeReport struct {
+	Name    string                        `json:"name"`
+	Crashed bool                          `json:"crashed,omitempty"`
+	Layers  map[string]map[string]float64 `json:"layers,omitempty"`
+}
+
+// verdict condenses a result into RunReport.Verdict.
+func verdict(r Result, hasScenario bool) string {
+	switch {
+	case !hasScenario:
+		return "no_scenario"
+	case r.LaunchFailed:
+		return "launch_failed"
+	case !r.Started:
+		return "not_started"
+	case len(r.Errors) > 0:
+		return "flagged"
+	case r.Inactivity:
+		return "inactivity"
+	case r.Stopped:
+		return "stopped"
+	default:
+		return "horizon"
+	}
+}
+
+// WriteJSON writes the report as indented JSON. The encoding is
+// deterministic: slices preserve run order and maps marshal with sorted
+// keys, so equal runs produce byte-identical documents.
+func (r RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Text renders the report for humans: verdict, flagged errors, fault
+// journal size and per-node layer activity. It is the structured
+// replacement for Testbed.Summary.
+func (r RunReport) Text() string {
+	var b strings.Builder
+	if r.Scenario != "" {
+		fmt.Fprintf(&b, "scenario %q: %s (verdict %s)\n", r.Scenario, r.Result, r.Verdict)
+	} else {
+		fmt.Fprintf(&b, "no scenario loaded (verdict %s)\n", r.Verdict)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	if len(r.Unreachable) > 0 {
+		fmt.Fprintf(&b, "  unreachable: %s\n", strings.Join(r.Unreachable, ", "))
+	}
+	fmt.Fprintf(&b, "virtual time %v, %d events, %d fault(s) injected\n",
+		r.Duration, r.Events, len(r.Faults))
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&b, "%-8s", n.Name)
+		if eng, ok := n.Layers["engine"]; ok {
+			fmt.Fprintf(&b, " engine: %.0f intercepted, %.0f matched, %.0f actions",
+				eng["packets_intercepted"], eng["packets_matched"], eng["actions_fired"])
+		}
+		if n.Crashed {
+			b.WriteString(" [CRASHED by FAIL]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// nodeReports gathers every host's layer snapshots for the report.
+func (tb *Testbed) nodeReports() []NodeReport {
+	out := make([]NodeReport, 0, len(tb.nodes))
+	for _, n := range tb.nodes {
+		nr := NodeReport{
+			Name:    n.name,
+			Crashed: n.engine.Failed(),
+			Layers:  make(map[string]map[string]float64),
+		}
+		for _, layer := range n.SnapshotLayers() {
+			snap, ok := n.Snapshot(layer)
+			if !ok {
+				continue
+			}
+			vals := make(map[string]float64, len(snap.Values))
+			for _, v := range snap.Values {
+				vals[v.Name] = v.Value
+			}
+			nr.Layers[layer] = vals
+		}
+		out = append(out, nr)
+	}
+	return out
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Hot-path benchmark suite: measures the scheduler, classifier, frame
-# path, engine interception and the Figure 5/6 scenario benches, and
-# records the results as BENCH_core.json at the repository root.
+# Benchmark suite: measures the hot paths (scheduler, classifier, frame
+# path, engine interception, Figure 5/6 scenarios) and the campaign
+# executor's end-to-end throughput, recording the results as
+# BENCH_core.json and BENCH_campaign.json at the repository root.
 #
 # Usage: scripts/bench.sh [count]
 #   count  -benchtime iteration spec (default 2s of wall time per bench).
@@ -13,9 +14,6 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
-OUT="BENCH_core.json"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
 
 run_bench() {
     # $1 = package, $2 = benchmark regexp
@@ -23,36 +21,49 @@ run_bench() {
         | tee -a /dev/stderr
 }
 
+# Parse `go test -bench` output lines of the form
+#   BenchmarkName  <iters>  <ns> ns/op  [<runs> runs/s]  <bytes> B/op  <allocs> allocs/op
+# from $1 into a JSON object keyed by benchmark name, written to $2.
+emit_json() {
+    awk '
+    BEGIN { print "{"; first = 1 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
+        ns = ""; bytes = ""; allocs = ""; runs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns = $(i - 1)
+            if ($(i) == "B/op")      bytes = $(i - 1)
+            if ($(i) == "allocs/op") allocs = $(i - 1)
+            if ($(i) == "runs/s")    runs = $(i - 1)
+        }
+        if (ns == "") next
+        if (!first) print ","
+        first = 0
+        printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+        if (runs != "")   printf ", \"runs_per_sec\": %s", runs
+        if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+        if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+        printf "}"
+    }
+    END { print "\n}" }
+    ' "$1" > "$2"
+    echo "benchmark results written to $2"
+}
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
 {
     run_bench ./internal/sim 'BenchmarkScheduler'
     run_bench ./internal/core 'BenchmarkClassifier'
     run_bench ./internal/ether 'BenchmarkBusForwarding'
     run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario'
 } > "$RAW"
+emit_json "$RAW" BENCH_core.json
 
-# Parse `go test -bench` output lines of the form
-#   BenchmarkName  <iters>  <ns> ns/op  <bytes> B/op  <allocs> allocs/op
-# into a JSON object keyed by benchmark name.
-awk '
-BEGIN { print "{"; first = 1 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns = $(i - 1)
-        if ($(i) == "B/op")      bytes = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
-    }
-    if (ns == "") next
-    if (!first) print ","
-    first = 0
-    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
-    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
-}
-END { print "\n}" }
-' "$RAW" > "$OUT"
-
-echo "benchmark results written to $OUT"
+# Campaign throughput: whole 16-run matrices per iteration, serial vs
+# the default worker pool; runs_per_sec is the figure to watch.
+: > "$RAW"
+run_bench ./campaign 'BenchmarkCampaign' > "$RAW"
+emit_json "$RAW" BENCH_campaign.json

@@ -17,6 +17,17 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== campaign smoke (-race, small matrix) =="
+# An end-to-end campaign through the real CLI: 8 runs (4 seeds x 2 bit
+# error rates) of the quickstart drop scenario on 4 workers, under the
+# race detector. Exercises the worker pool, the ordered JSONL flush and
+# the summary path the way a user would.
+go run -race ./cmd/vwcampaign \
+    -script scripts/quickstart_drop.fsl \
+    -tcp node1:0x6000-node2:0x4000:16384 \
+    -seeds 4 -ber 0,1e-6 -workers 4 -horizon 30s \
+    -summary none
+
 echo "== bench smoke (one iteration) =="
 # Each benchmark runs exactly once: catches benchmarks that no longer
 # compile or crash, without paying measurement time. Full measurements

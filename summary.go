@@ -12,7 +12,7 @@ import (
 func ScenarioNames(src string) ([]string, error) {
 	progs, err := fsl.CompileAll(src)
 	if err != nil {
-		return nil, err
+		return nil, scriptErr(err)
 	}
 	names := make([]string, 0, len(progs))
 	for _, p := range progs {
@@ -21,12 +21,32 @@ func ScenarioNames(src string) ([]string, error) {
 	return names, nil
 }
 
+// CheckScript compiles src without building anything, verifying that the
+// named scenario exists (any scenario when name is empty). Failures wrap
+// ErrScriptParse, so a campaign can reject a bad spec before spending a
+// single run on it.
+func CheckScript(src, name string) error {
+	progs, err := fsl.CompileAll(src)
+	if err != nil {
+		return scriptErr(err)
+	}
+	if name == "" {
+		return nil
+	}
+	for _, p := range progs {
+		if p.Name == name {
+			return nil
+		}
+	}
+	return scriptErr(fmt.Errorf("script has no scenario %q", name))
+}
+
 // LoadScriptScenario compiles a multi-scenario script and stages the
 // named scenario (LoadScript requires exactly one SCENARIO block).
 func (tb *Testbed) LoadScriptScenario(src, name string) error {
 	progs, err := fsl.CompileAll(src)
 	if err != nil {
-		return err
+		return scriptErr(err)
 	}
 	for _, p := range progs {
 		if p.Name != name {
@@ -44,12 +64,17 @@ func (tb *Testbed) LoadScriptScenario(src, name string) error {
 		tb.prog = p
 		return nil
 	}
-	return fmt.Errorf("virtualwire: script has no scenario %q", name)
+	return scriptErr(fmt.Errorf("script has no scenario %q", name))
 }
 
 // Summary renders a human-readable post-run report: scenario outcome,
 // per-node engine activity, and protocol-layer statistics. Intended for
 // CLI output and example programs.
+//
+// Deprecated: the same data now travels structured in the RunReport
+// returned by Run/RunContext (Result, Nodes, Metrics); render it with
+// RunReport.Text or marshal it with RunReport.WriteJSON. This shim is
+// kept so existing callers and examples continue to compile.
 func (tb *Testbed) Summary() string {
 	var b strings.Builder
 	if tb.ctl != nil {

@@ -24,6 +24,8 @@
 package virtualwire
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -191,10 +193,10 @@ func (n *Node) EngineStats() core.EngineStats { return n.engine.Stats }
 
 // InjectedFault describes one fault an engine applied, for reports.
 type InjectedFault struct {
-	At         time.Duration
-	Node       string
-	Kind       string
-	PacketType string
+	At         time.Duration `json:"at_ns"`
+	Node       string        `json:"node"`
+	Kind       string        `json:"kind"`
+	PacketType string        `json:"packet_type,omitempty"`
 }
 
 // InjectedFaults returns every fault applied across the testbed, merged
@@ -341,7 +343,7 @@ func (tb *Testbed) AddHost(name, mac, ip string) (*Node, error) {
 func (tb *Testbed) AddNodesFromScript(src string) error {
 	s, err := fsl.Parse(src)
 	if err != nil {
-		return err
+		return scriptErr(err)
 	}
 	for _, nd := range s.Nodes {
 		if _, err := tb.AddHost(nd.Name, nd.MAC, nd.IP); err != nil {
@@ -410,7 +412,7 @@ func (tb *Testbed) AddRTStream(srcPort, dstPort uint16) {
 func (tb *Testbed) LoadScript(src string) error {
 	prog, err := fsl.Compile(src)
 	if err != nil {
-		return err
+		return scriptErr(err)
 	}
 	for _, nd := range prog.Nodes {
 		n, ok := tb.byName[nd.Name]
@@ -533,42 +535,35 @@ func matchesRTStream(fr *ether.Frame, streams []portPair) bool {
 	return false
 }
 
-// Report is the outcome of a Run: one value carrying the full campaign
-// result — verdict, injection journal, flagged errors and a metrics
-// digest — so callers no longer stitch it together from InjectedFaults,
-// ScenarioResult and per-node accessors.
-type Report struct {
-	// Result is the scenario outcome; zero-valued when no script was
-	// loaded.
-	Result Result
-	// Passed applies the conventional criterion: started, no flagged
-	// errors, and an explicit STOP when the script declares an
-	// inactivity timeout.
-	Passed bool
-	// Duration is the virtual time the run covered.
-	Duration time.Duration
-	// Events is the number of simulation events executed.
-	Events uint64
-	// Faults is the run's injection journal, merged across nodes in
-	// time order (the same data Testbed.InjectedFaults returns).
-	Faults []InjectedFault
-	// Errors collects every FLAG_ERR report, in arrival order (the same
-	// data as Result.Errors / Testbed.ScenarioResult).
-	Errors []ErrorReport
-	// Unreachable names the nodes that never acknowledged INIT when the
-	// launch was abandoned (Result.LaunchFailed); empty otherwise.
-	Unreachable []string
-	// Metrics digests the instrument registry at run end; the full
-	// series is available from Testbed.MetricsSeries.
-	Metrics MetricsSummary
-}
-
 // Run builds the testbed (if needed), launches the scenario, starts the
 // workloads once every engine is initialized, and runs until the horizon
-// or until the scenario finishes and all traffic drains.
-func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
+// or until the scenario finishes and all traffic drains. It is a thin
+// wrapper around RunContext with a background context.
+func (tb *Testbed) Run(horizon time.Duration) (RunReport, error) {
+	return tb.RunContext(context.Background(), horizon)
+}
+
+// ctxPollEvents is how many simulation events RunContext executes
+// between context polls. Events are sub-microsecond of real time, so
+// cancellation still lands within a fraction of a millisecond while the
+// hot loop stays free of per-event channel operations.
+const ctxPollEvents = 64
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled at event-loop granularity (between simulation events, never
+// mid-event), so cancelling it — or letting its deadline expire — stops
+// the run promptly with a partial RunReport describing everything that
+// happened up to the interruption.
+//
+// The returned error is nil for a run that reached its horizon or
+// finished its scenario (inspect the report for the verdict). When the
+// context interrupts the run, the partial report is returned together
+// with an error wrapping ctx.Err(); if the context's deadline expired
+// the error additionally matches ErrHorizonExceeded, which the campaign
+// executor's retry policy treats as transient.
+func (tb *Testbed) RunContext(ctx context.Context, horizon time.Duration) (RunReport, error) {
 	if err := tb.build(); err != nil {
-		return Report{}, err
+		return RunReport{}, err
 	}
 	start := tb.sched.Now()
 	if tb.ctl != nil {
@@ -582,37 +577,62 @@ func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
 		}
 		tb.ctl.OnStarted = startWorkloads
 		if err := tb.ctl.Launch(); err != nil {
-			return Report{}, err
+			return RunReport{}, err
 		}
 	} else {
 		for _, w := range tb.workloads {
 			if err := w.start(tb); err != nil {
-				return Report{}, err
+				return RunReport{}, err
 			}
 		}
 	}
-	if tb.ctl != nil {
-		// A finished scenario ends the run early; otherwise run to the
-		// horizon. (Post-scenario traffic can be observed with RunFor.)
-		deadline := start + horizon
-		for !tb.ctl.Finished() && tb.sched.Now() < deadline {
-			if !tb.sched.Step() {
-				break
+	// The run loop: execute events up to the horizon, stopping early if
+	// the scenario finishes, the queue drains, or the context fires.
+	// Events strictly past the horizon are never executed (RunUntil
+	// semantics); on a clean exit the clock is advanced to the horizon so
+	// a subsequent RunFor continues from there.
+	deadline := start + horizon
+	done := ctx.Done() // nil for context.Background(): polling elides
+	countdown := ctxPollEvents
+	var ctxErr error
+	for {
+		if done != nil {
+			countdown--
+			if countdown <= 0 {
+				countdown = ctxPollEvents
+				select {
+				case <-done:
+					ctxErr = ctx.Err()
+				default:
+				}
+				if ctxErr != nil {
+					break
+				}
 			}
 		}
-		if !tb.ctl.Finished() && tb.sched.Now() < deadline {
-			if err := tb.sched.RunUntil(deadline); err != nil {
-				return Report{}, err
-			}
+		if tb.ctl != nil && tb.ctl.Finished() {
+			break
 		}
-	} else if err := tb.sched.RunUntil(start + horizon); err != nil {
-		return Report{}, err
+		next, ok := tb.sched.PeekTime()
+		if !ok || next > deadline {
+			// Drained or nothing left before the horizon: idle time
+			// still passes.
+			if tb.sched.Now() < deadline {
+				if err := tb.sched.RunUntil(deadline); err != nil {
+					return RunReport{}, err
+				}
+			}
+			break
+		}
+		tb.sched.Step()
 	}
-	rep := Report{
+	rep := RunReport{
+		Seed:     tb.cfg.Seed,
 		Duration: tb.sched.Now() - start,
 		Events:   tb.sched.Executed(),
 	}
 	if tb.ctl != nil {
+		rep.Scenario = tb.prog.Name
 		rep.Result = tb.ctl.Result()
 		rep.Passed = rep.Result.Passed(tb.prog.InactivityTimeout > 0)
 		for _, nid := range rep.Result.Unreachable {
@@ -621,9 +641,20 @@ func (tb *Testbed) Run(horizon time.Duration) (Report, error) {
 	} else {
 		rep.Passed = true
 	}
+	rep.Verdict = verdict(rep.Result, tb.ctl != nil)
 	rep.Faults = tb.InjectedFaults()
 	rep.Errors = append([]ErrorReport(nil), rep.Result.Errors...)
+	rep.Nodes = tb.nodeReports()
 	rep.Metrics = tb.metricsSummary()
+	if ctxErr != nil {
+		rep.Passed = false
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			return rep, fmt.Errorf("virtualwire: run interrupted at t=%v: %w: %w",
+				rep.Duration, ErrHorizonExceeded, ctxErr)
+		}
+		return rep, fmt.Errorf("virtualwire: run interrupted at t=%v: %w",
+			rep.Duration, ctxErr)
+	}
 	return rep, nil
 }
 
@@ -660,8 +691,10 @@ func (tb *Testbed) TraceFilter(substrings ...string) []TraceEntry {
 }
 
 // ScenarioResult returns the scenario outcome so far (valid after Run).
-// The Report returned by Run carries the same data in Report.Result and
-// Report.Errors; this accessor remains as a thin delegate.
+//
+// Deprecated: the RunReport returned by Run/RunContext carries the same
+// data in RunReport.Result and RunReport.Errors; this accessor remains
+// as a thin shim for existing callers.
 func (tb *Testbed) ScenarioResult() Result {
 	if tb.ctl == nil {
 		return Result{}
