@@ -38,3 +38,11 @@ func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
 // BenchmarkCampaignParallel measures campaign throughput at the default
 // worker count; runs/s versus the serial figure shows executor scaling.
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.GOMAXPROCS(0)) }
+
+// The fixed-width worker benchmarks trace the scaling curve (compare
+// runs/s against BenchmarkCampaignSerial). Worker testbeds are compiled
+// once and reset between runs, so added workers cost goroutines, not
+// testbed rebuilds; the curve flattens at the machine's core count.
+func BenchmarkCampaignWorkers2(b *testing.B) { benchCampaign(b, 2) }
+func BenchmarkCampaignWorkers4(b *testing.B) { benchCampaign(b, 4) }
+func BenchmarkCampaignWorkers8(b *testing.B) { benchCampaign(b, 8) }

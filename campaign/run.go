@@ -96,8 +96,38 @@ type Options struct {
 	// O(runs), even when one slow run holds up the ordered flush.
 	Window int
 
-	// run substitutes the per-attempt executor in tests.
+	// run substitutes the per-attempt executor in tests. When set, the
+	// reusable-testbed pipeline is bypassed entirely.
 	run runFunc
+}
+
+// normalize resolves every defaultable option in one place, so the
+// zero value of Options is usable and both executor paths (serial,
+// pooled) agree on the effective settings.
+func (o *Options) normalize(matrixSize int) {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > matrixSize && matrixSize > 0 {
+		o.Workers = matrixSize
+	}
+	if o.Window <= 0 {
+		o.Window = 4 * o.Workers
+	}
+	if o.Window < o.Workers {
+		o.Window = o.Workers
+	}
+}
+
+// newRunner returns the per-attempt executor for one worker: the test
+// substitute when set, otherwise a compile-once/reset-to-reuse executor
+// owning its private testbed cache. Each worker gets its own runner, so
+// testbeds are never shared across goroutines.
+func (o *Options) newRunner(spec *Spec) runFunc {
+	if o.run != nil {
+		return o.run
+	}
+	return newTestbedCache(spec).run
 }
 
 // Run executes the spec's matrix and returns its Summary. The context
@@ -113,27 +143,20 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.run == nil {
-		opts.run = runOnce
-	}
+	opts.normalize(len(points))
 	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
 	agg := newAggregator(&spec, len(points))
 	if len(points) == 0 {
 		return agg.finish(), nil
 	}
 
 	if workers <= 1 {
+		run := opts.newRunner(&spec)
 		for _, p := range points {
 			if ctx.Err() != nil {
 				break
 			}
-			rec := runPoint(ctx, &spec, p, opts.run)
+			rec := runPoint(ctx, &spec, p, run)
 			if err := agg.collect(rec, &opts); err != nil {
 				return agg.finish(), err
 			}
@@ -142,12 +165,6 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 	}
 
 	window := opts.Window
-	if window <= 0 {
-		window = 4 * workers
-	}
-	if window < workers {
-		window = workers
-	}
 
 	// Workers acquire a window slot BEFORE taking a run index, so the
 	// worker that ends up with the lowest outstanding index can never
@@ -161,6 +178,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			run := opts.newRunner(&spec)
 			for {
 				select {
 				case sem <- struct{}{}:
@@ -172,7 +190,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 					<-sem
 					return
 				}
-				results <- runPoint(ctx, &spec, points[i], opts.run)
+				results <- runPoint(ctx, &spec, points[i], run)
 			}
 		}()
 	}
@@ -283,8 +301,62 @@ func Transient(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
+// testbedCache is the compile-once/reset-to-reuse executor: one per
+// worker goroutine (never shared), it keeps a long-lived testbed per
+// matrix shape and rewinds it with Testbed.Reset between runs instead
+// of rebuilding the whole stack. Reset-vs-fresh determinism is a tested
+// invariant of the facade, so which path a given run takes — and
+// therefore the worker count — never changes the record bytes.
+type testbedCache struct {
+	spec *Spec
+	tbs  map[int]*virtualwire.Testbed // shapeID → reusable testbed
+}
+
+func newTestbedCache(spec *Spec) *testbedCache {
+	return &testbedCache{spec: spec, tbs: make(map[int]*virtualwire.Testbed)}
+}
+
+// run executes one attempt of one point, reusing the shape's testbed
+// when possible. Points that cannot reuse (scriptless, or hosts defined
+// by a separate Spec.Nodes source) fall back to a fresh build per run.
+func (c *testbedCache) run(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
+	if p.compiled == nil || (spec.Nodes != "" && spec.Nodes != p.script) {
+		return runOnce(ctx, spec, p, rec)
+	}
+	tb := c.tbs[p.shapeID]
+	if tb != nil {
+		if err := tb.Reset(p.seed); err != nil {
+			// A testbed that cannot be rewound (never built) is dropped,
+			// not reused dirty.
+			delete(c.tbs, p.shapeID)
+			tb = nil
+		}
+	}
+	if tb == nil {
+		cfg := virtualwire.Config{Seed: p.seed}
+		if err := p.cfg.apply(&cfg); err != nil {
+			return err
+		}
+		fresh, err := virtualwire.New(cfg)
+		if err != nil {
+			return err
+		}
+		if err := fresh.AddNodesFromCompiled(p.compiled); err != nil {
+			return err
+		}
+		if err := fresh.LoadCompiled(p.compiled); err != nil {
+			return err
+		}
+		tb = fresh
+		c.tbs[p.shapeID] = tb
+	}
+	return finishRun(ctx, spec, p, rec, tb)
+}
+
 // runOnce builds a private testbed for the point and runs it to the
-// horizon under the per-run wall-clock timeout.
+// horizon under the per-run wall-clock timeout. It is the fallback (and
+// test-visible) per-run path; the campaign executor normally routes
+// through testbedCache.run instead.
 func runOnce(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
 	cfg := virtualwire.Config{Seed: p.seed}
 	if err := p.cfg.apply(&cfg); err != nil {
@@ -298,11 +370,18 @@ func runOnce(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
 	if nodeSrc == "" {
 		nodeSrc = p.script
 	}
-	if err := tb.AddNodesFromScript(nodeSrc); err != nil {
+	if p.compiled != nil && nodeSrc == p.script {
+		err = tb.AddNodesFromCompiled(p.compiled)
+	} else {
+		err = tb.AddNodesFromScript(nodeSrc)
+	}
+	if err != nil {
 		return err
 	}
 	if p.script != "" {
-		if p.scenario != "" {
+		if p.compiled != nil {
+			err = tb.LoadCompiled(p.compiled)
+		} else if p.scenario != "" {
 			err = tb.LoadScriptScenario(p.script, p.scenario)
 		} else {
 			err = tb.LoadScript(p.script)
@@ -311,7 +390,15 @@ func runOnce(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
 			return err
 		}
 	}
+	return finishRun(ctx, spec, p, rec, tb)
+}
+
+// finishRun installs the point's workload on a staged testbed, runs it
+// to the horizon under the per-run wall-clock timeout, and extracts the
+// record.
+func finishRun(ctx context.Context, spec *Spec, p point, rec *RunRecord, tb *virtualwire.Testbed) error {
 	var m measurer
+	var err error
 	if p.wl != nil {
 		if m, err = p.wl.install(tb); err != nil {
 			return err

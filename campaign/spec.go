@@ -319,6 +319,15 @@ type point struct {
 	wl               *WorkloadSpec
 	seed             int64
 	seedIndex        int
+
+	// compiled is the point's script compiled exactly once per unique
+	// (script, scenario) pair during expand; shared read-only by every
+	// run and worker. Nil for scriptless points.
+	compiled *virtualwire.CompiledScript
+	// shapeID identifies the testbed shape (script × scenario × config):
+	// points sharing a shapeID can reuse one worker-local testbed via
+	// Testbed.Reset instead of rebuilding it per run.
+	shapeID int
 }
 
 // DeriveSeed maps (campaign seed, run index) to the run's simulation
@@ -385,6 +394,7 @@ func (s *Spec) expand() ([]point, error) {
 		cfg                      ConfigOverride
 		wl                       *WorkloadSpec
 		seed                     *int64
+		compiled                 *virtualwire.CompiledScript
 	}
 	var shapes []shape
 	if len(s.Variants) > 0 {
@@ -446,8 +456,11 @@ func (s *Spec) expand() ([]point, error) {
 		}
 	}
 
-	// Validate every shape once (not per seed).
-	checked := make(map[string]bool)
+	// Validate every shape once (not per seed) and compile each unique
+	// (script, scenario) pair exactly once. The resulting CompiledScript —
+	// immutable tables plus the pre-encoded INIT blob — is shared by every
+	// run of the matrix, so no worker ever re-parses or re-encodes FSL.
+	compiledBy := make(map[string]*virtualwire.CompiledScript)
 	for i := range shapes {
 		sh := &shapes[i]
 		var dummy virtualwire.Config
@@ -462,28 +475,24 @@ func (s *Spec) expand() ([]point, error) {
 		if sh.script == "" && s.Nodes == "" {
 			return nil, fmt.Errorf("campaign: shape %q has no node table (no script and no Spec.Nodes)", sh.label)
 		}
+		if sh.script == "" {
+			continue
+		}
 		key := sh.script + "\x00" + sh.scenario
-		if sh.script != "" && !checked[key] {
-			checked[key] = true
-			scenario := sh.scenario
-			if err := virtualwire.CheckScript(sh.script, scenario); err != nil {
+		cs, ok := compiledBy[key]
+		if !ok {
+			var err error
+			cs, err = virtualwire.CompileScriptScenario(sh.script, sh.scenario)
+			if err != nil {
 				return nil, err
 			}
-			if scenario == "" {
-				// LoadScript requires exactly one scenario block.
-				names, err := virtualwire.ScenarioNames(sh.script)
-				if err != nil {
-					return nil, err
-				}
-				if len(names) != 1 {
-					return nil, fmt.Errorf("campaign: script for shape %q has %d scenarios; set Scenario", sh.label, len(names))
-				}
-			}
+			compiledBy[key] = cs
 		}
+		sh.compiled = cs
 	}
 
 	pts := make([]point, 0, len(shapes)*seedN)
-	for _, sh := range shapes {
+	for si, sh := range shapes {
 		for k := 0; k < seedN; k++ {
 			idx := len(pts)
 			var seed int64
@@ -508,6 +517,7 @@ func (s *Spec) expand() ([]point, error) {
 				script: sh.script, scenario: sh.scenario,
 				cfg: sh.cfg, wl: sh.wl,
 				seed: seed, seedIndex: k,
+				compiled: sh.compiled, shapeID: si,
 			})
 		}
 	}

@@ -194,7 +194,7 @@ func run() error {
 	}
 	if *showSummary {
 		fmt.Println("--- summary ---")
-		fmt.Print(tb.Summary())
+		fmt.Print(rep.Text())
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(tb, *metricsOut); err != nil {

@@ -1,0 +1,164 @@
+package virtualwire
+
+import (
+	"fmt"
+
+	"virtualwire/internal/core"
+	"virtualwire/internal/fsl"
+)
+
+// CompiledScript is an FSL script compiled exactly once: the immutable
+// execution tables plus the pre-encoded INIT distribution blob. A
+// CompiledScript is read-only after construction and safe to share
+// across any number of testbeds and goroutines, so a campaign compiles
+// each scenario variant once and every worker installs the shared tables
+// with Testbed.LoadCompiled instead of re-parsing the source per run.
+type CompiledScript struct {
+	src      string
+	prog     *core.Program
+	initBlob []byte
+}
+
+// CompileScript compiles an FSL script with exactly one SCENARIO block.
+// Failures wrap ErrScriptParse.
+func CompileScript(src string) (*CompiledScript, error) {
+	prog, err := fsl.Compile(src)
+	if err != nil {
+		return nil, scriptErr(err)
+	}
+	return newCompiledScript(src, prog)
+}
+
+// CompileScriptScenario compiles a (possibly multi-scenario) FSL script
+// and selects the named scenario; an empty name requires exactly one
+// SCENARIO block, like CompileScript. Failures wrap ErrScriptParse.
+func CompileScriptScenario(src, scenario string) (*CompiledScript, error) {
+	if scenario == "" {
+		return CompileScript(src)
+	}
+	progs, err := fsl.CompileAll(src)
+	if err != nil {
+		return nil, scriptErr(err)
+	}
+	for _, p := range progs {
+		if p.Name == scenario {
+			return newCompiledScript(src, p)
+		}
+	}
+	return nil, scriptErr(fmt.Errorf("script has no scenario %q", scenario))
+}
+
+func newCompiledScript(src string, prog *core.Program) (*CompiledScript, error) {
+	blob, err := core.EncodeProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledScript{src: src, prog: prog, initBlob: blob}, nil
+}
+
+// Scenario returns the compiled scenario's name.
+func (cs *CompiledScript) Scenario() string { return cs.prog.Name }
+
+// Source returns the FSL source the script was compiled from.
+func (cs *CompiledScript) Source() string { return cs.src }
+
+// NodeNames returns the NODE_TABLE host names in table order.
+func (cs *CompiledScript) NodeNames() []string {
+	out := make([]string, len(cs.prog.Nodes))
+	for i, nd := range cs.prog.Nodes {
+		out[i] = nd.Name
+	}
+	return out
+}
+
+// AddNodesFromCompiled creates one host per NODE_TABLE row of a compiled
+// script — AddNodesFromScript without the re-parse.
+func (tb *Testbed) AddNodesFromCompiled(cs *CompiledScript) error {
+	for _, nd := range cs.prog.Nodes {
+		if _, err := tb.addHost(nd.Name, nd.MAC, nd.IP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCompiled stages a pre-compiled scenario — LoadScript without the
+// per-testbed compile. Every node of the script's NODE_TABLE must
+// already exist with matching identity. The staged tables stay shared:
+// the testbed never mutates them, and the controller distributes the
+// script's pre-encoded INIT blob instead of re-encoding per launch.
+func (tb *Testbed) LoadCompiled(cs *CompiledScript) error {
+	for _, nd := range cs.prog.Nodes {
+		n, ok := tb.byName[nd.Name]
+		if !ok {
+			return fmt.Errorf("virtualwire: script node %q not in testbed", nd.Name)
+		}
+		if n.host.MAC != nd.MAC || n.host.IP != nd.IP {
+			return fmt.Errorf("virtualwire: script node %q identity mismatch (script %s/%s, testbed %s/%s)",
+				nd.Name, nd.MAC, nd.IP, n.MAC(), n.IP())
+		}
+	}
+	tb.prog = cs.prog
+	tb.compiled = cs
+	return nil
+}
+
+// Reset rewinds a built testbed to its pristine pre-run state under a
+// new seed: the scheduler (cancelling every outstanding event and timer),
+// the media, every host's protocol layers, the engines and controller,
+// all metrics and any trace buffer. The compiled tables, layer wiring,
+// static ARP and registered metric sources survive, so a reused testbed
+// runs the same scenario again without re-parsing, re-encoding or
+// re-wiring anything — the core of the campaign executor's
+// compile-once/reset-to-reuse pipeline.
+//
+// Registered workloads are cleared (re-add them before the next Run); a
+// Config.Pcap writer, being an external stream, keeps whatever was
+// already written. Reset before the first Run/RunFor is an error.
+func (tb *Testbed) Reset(seed int64) error {
+	if !tb.built {
+		return fmt.Errorf("virtualwire: Reset before the testbed was built (call Run first)")
+	}
+	tb.cfg.Seed = seed
+	tb.sched.Reset(seed)
+	if tb.sw != nil {
+		tb.sw.Reset()
+	}
+	if tb.bus != nil {
+		tb.bus.Reset()
+	}
+	for _, n := range tb.nodes {
+		n.host.Reset()
+		if n.tcp != nil {
+			n.tcp.Reset()
+		}
+		if n.rll != nil {
+			n.rll.Reset()
+		}
+		n.engine.Reset()
+		if n.rether != nil {
+			n.rether.Reset()
+		}
+	}
+	// The pool resets only after every layer above drained its leftover
+	// frames back (NIC transmit queues, RLL windows): those Puts belong
+	// to the run being discarded, not the next one.
+	tb.pool.Reset()
+	// Restart the token ring only after every member is back to zero.
+	for _, name := range tb.retherRing {
+		tb.byName[name].rether.Start()
+	}
+	if tb.ctl != nil {
+		tb.ctl.Reset()
+	}
+	tb.reg.Reset()
+	if tb.sampler != nil {
+		tb.sampler.Reset()
+		tb.sampler.Start()
+	}
+	if tb.tracing != nil {
+		tb.tracing.Reset()
+	}
+	tb.workloads = tb.workloads[:0]
+	return nil
+}

@@ -46,16 +46,27 @@ type binding struct {
 	val []byte
 }
 
-// NewClassifier builds a classifier over the program's filter table.
+// NewClassifier builds a classifier over the program's filter table. The
+// ethertype index is built lazily on the first indexed classification, so
+// the default (linear, the paper's strategy and the faster one at
+// testbed-typical table sizes — see docs/PERFORMANCE.md) pays nothing
+// for the ablation it does not use.
 func NewClassifier(p *Program) *Classifier {
-	c := &Classifier{
+	return &Classifier{
 		filters: p.Filters,
 		vars:    make([][]byte, len(p.Vars)),
-		buckets: make(map[uint16][]int),
 	}
-	for i, f := range p.Filters {
+}
+
+// buildIndex populates the ethertype buckets for the indexed strategy.
+func (c *Classifier) buildIndex() {
+	c.buckets = make(map[uint16][]int)
+	c.anyBucket = nil
+	for i := range c.filters {
+		f := &c.filters[i]
 		keyed := false
-		for _, tu := range f.Tuples {
+		for ti := range f.Tuples {
+			tu := &f.Tuples[ti]
 			if tu.Off == 12 && tu.Len == 2 && tu.Var < 0 && tu.Mask == nil {
 				et := binary.BigEndian.Uint16(tu.Pattern)
 				c.buckets[et] = append(c.buckets[et], i)
@@ -67,7 +78,18 @@ func NewClassifier(p *Program) *Classifier {
 			c.anyBucket = append(c.anyBucket, i)
 		}
 	}
-	return c
+}
+
+// Reset clears all run-time state — variable bindings and work counters —
+// so the classifier (and its lazily built index) can be reused for a
+// fresh run over the same filter table.
+func (c *Classifier) Reset() {
+	for i := range c.vars {
+		c.vars[i] = nil
+	}
+	c.TuplesCompared = 0
+	c.FiltersScanned = 0
+	c.scratch = c.scratch[:0]
 }
 
 // VarBinding returns the current binding of a variable (nil if unbound).
@@ -95,6 +117,9 @@ func (c *Classifier) Classify(fr *ether.Frame) FilterID {
 }
 
 func (c *Classifier) classifyIndexed(fr *ether.Frame) FilterID {
+	if c.buckets == nil {
+		c.buildIndex()
+	}
 	et := fr.EtherType()
 	best := -1
 	for _, i := range c.buckets[et] {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"time"
@@ -41,7 +42,7 @@ const (
 )
 
 // Msg is one control-plane message. All engines and the controller speak
-// this type, gob-encoded in an ethertype-0x88B5 Ethernet frame.
+// this type, varint-encoded in an ethertype-0x88B5 Ethernet frame.
 type Msg struct {
 	Kind MsgKind
 	From NodeID
@@ -65,33 +66,125 @@ type Msg struct {
 	AtNanos int64
 }
 
-// encodeMsg wraps a Msg in a control frame addressed dst <- src.
+// encodeMsg wraps a Msg in a control frame addressed dst <- src. The
+// payload is a hand-rolled varint encoding: control messages are on the
+// simulation hot path (counter pushes fire per intercepted packet), and
+// a gob codec pays a decoder-compilation tax on every frame.
 func encodeMsg(src, dst packet.MAC, m *Msg) (*ether.Frame, error) {
-	var buf bytes.Buffer
-	buf.Write(make([]byte, packet.EthHeaderLen))
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		return nil, fmt.Errorf("encode control msg: %w", err)
+	b := make([]byte, packet.EthHeaderLen, packet.EthHeaderLen+64+len(m.ChunkData)+len(m.Message))
+	b = binary.AppendVarint(b, int64(m.Kind))
+	b = binary.AppendVarint(b, int64(m.From))
+	b = binary.AppendVarint(b, int64(m.ChunkIndex))
+	b = binary.AppendVarint(b, int64(m.ChunkTotal))
+	b = binary.AppendUvarint(b, uint64(len(m.ChunkData)))
+	b = append(b, m.ChunkData...)
+	b = binary.AppendVarint(b, int64(m.ControlNode))
+	b = binary.AppendVarint(b, int64(m.NodeID))
+	b = binary.AppendVarint(b, int64(m.Counter))
+	b = binary.AppendVarint(b, m.Value)
+	b = binary.AppendVarint(b, int64(m.Term))
+	if m.Status {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
 	}
-	b := buf.Bytes()
+	b = binary.AppendVarint(b, int64(m.Rule))
+	b = binary.AppendUvarint(b, uint64(len(m.Message)))
+	b = append(b, m.Message...)
+	b = binary.AppendVarint(b, m.AtNanos)
 	packet.PutEth(b, packet.Eth{Dst: dst, Src: src, Type: packet.EtherTypeVWCtl})
 	return &ether.Frame{Data: b}, nil
 }
 
-// decodeMsg extracts a Msg from a control frame.
-func decodeMsg(fr *ether.Frame) (*Msg, error) {
-	if len(fr.Data) <= packet.EthHeaderLen {
-		return nil, fmt.Errorf("control frame too short")
+var errBadCtlFrame = fmt.Errorf("malformed control frame")
+
+// decodeMsg extracts a Msg from a control frame into m. ChunkData and
+// Message are copied out: the frame's buffer returns to the pool after
+// delivery, while an INIT chunk is retained until reassembly completes.
+func decodeMsg(fr *ether.Frame, m *Msg) error {
+	b := fr.Data
+	if len(b) <= packet.EthHeaderLen {
+		return fmt.Errorf("control frame too short")
 	}
-	var m Msg
-	if err := gob.NewDecoder(bytes.NewReader(fr.Data[packet.EthHeaderLen:])).Decode(&m); err != nil {
-		return nil, fmt.Errorf("decode control msg: %w", err)
+	b = b[packet.EthHeaderLen:]
+	next := func() (int64, error) {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return 0, errBadCtlFrame
+		}
+		b = b[n:]
+		return v, nil
 	}
-	return &m, nil
+	nextBytes := func() ([]byte, error) {
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < ln {
+			return nil, errBadCtlFrame
+		}
+		out := b[n : n+int(ln)]
+		b = b[n+int(ln):]
+		return out, nil
+	}
+	var err error
+	read := func() int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = next()
+		return v
+	}
+	m.Kind = MsgKind(read())
+	m.From = NodeID(read())
+	m.ChunkIndex = int(read())
+	m.ChunkTotal = int(read())
+	if err != nil {
+		return err
+	}
+	chunk, err := nextBytes()
+	if err != nil {
+		return err
+	}
+	m.ChunkData = nil
+	if len(chunk) > 0 {
+		m.ChunkData = append([]byte(nil), chunk...)
+	}
+	m.ControlNode = NodeID(read())
+	m.NodeID = NodeID(read())
+	m.Counter = CounterID(read())
+	m.Value = read()
+	m.Term = TermID(read())
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return errBadCtlFrame
+	}
+	m.Status = b[0] != 0
+	b = b[1:]
+	m.Rule = int(read())
+	if err != nil {
+		return err
+	}
+	text, err := nextBytes()
+	if err != nil {
+		return err
+	}
+	m.Message = string(text)
+	m.AtNanos = read()
+	return err
 }
 
 // initChunkSize bounds INIT fragments so control frames stay well under
 // the Ethernet MTU even after RLL encapsulation.
 const initChunkSize = 1000
+
+// EncodeProgram gob-encodes a Program into the INIT distribution wire
+// format. The facade's CompileScript pre-computes this blob once so that
+// every Launch of a shared compiled script skips the per-run encode
+// (Controller.SetInitBlob installs it).
+func EncodeProgram(p *Program) ([]byte, error) {
+	return encodeProgram(p)
+}
 
 // encodeProgram gob-encodes a Program for INIT distribution.
 func encodeProgram(p *Program) ([]byte, error) {

@@ -170,6 +170,39 @@ func NewController(sched *sim.Scheduler, prog *Program, engine *Engine, controlN
 	return c, nil
 }
 
+// SetInitBlob pre-stages the gob-encoded program for INIT distribution,
+// letting Launch skip the per-run encode. blob must be EncodeProgram of
+// the exact program the controller was constructed with; call before the
+// first Launch.
+func (c *Controller) SetInitBlob(blob []byte) { c.initBlob = blob }
+
+// Reset rewinds the controller to its pre-launch state so a reused
+// testbed can Launch the same scenario again: ack/liveness/attempt
+// tracking, the result, the stats and all timers are cleared, while the
+// staged INIT blob survives (the program is unchanged).
+func (c *Controller) Reset() {
+	for k := range c.acked {
+		delete(c.acked, k)
+	}
+	for k := range c.lastSeen {
+		delete(c.lastSeen, k)
+	}
+	for k := range c.attempts {
+		delete(c.attempts, k)
+	}
+	c.started = false
+	c.launched = false
+	c.finished = false
+	// Replace the result wholesale: Result() hands out a shallow copy, so
+	// truncating the Errors slice in place could alias a prior run's view.
+	c.result = Result{}
+	c.Stats = ControllerStats{}
+	c.retryIval = 0
+	c.inact.Disarm()
+	c.retry.Disarm()
+	c.deadline.Disarm()
+}
+
 // Result returns the scenario outcome so far.
 func (c *Controller) Result() Result { return c.result }
 
@@ -229,12 +262,14 @@ func (c *Controller) Launch() error {
 		c.resendUnacked()
 		return nil
 	}
-	blob, err := encodeProgram(c.prog)
-	if err != nil {
-		return err
+	if c.initBlob == nil {
+		blob, err := encodeProgram(c.prog)
+		if err != nil {
+			return err
+		}
+		c.initBlob = blob
 	}
 	c.launched = true
-	c.initBlob = blob
 	c.retryIval = c.InitRetryInterval
 	for n := range c.prog.Nodes {
 		nid := NodeID(n)

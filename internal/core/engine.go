@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -129,6 +130,12 @@ type Engine struct {
 	// a live scenario is never reset by a stale retransmission.
 	initDone bool
 
+	// cachedBlob/cachedProg memoize the last INIT decode so a reused
+	// testbed re-running the same scenario skips the gob decode and — via
+	// load's pointer-identity fast path — the full table rebuild.
+	cachedBlob []byte
+	cachedProg *Program
+
 	lastActivity time.Duration
 	activitySent bool
 
@@ -235,6 +242,31 @@ func (e *Engine) LoadLocal(p *Program, self, controlNode NodeID) {
 }
 
 func (e *Engine) load(p *Program, self, controlNode NodeID) {
+	if e.prog == p && e.self == self && e.controlNode == controlNode &&
+		e.classifier != nil && e.classifier.Indexed == e.UseIndexedClassifier {
+		// Same tables, same identity (a reused testbed re-running the
+		// scenario): rewind the execution state in place instead of
+		// reallocating every table-sized slice and map.
+		e.classifier.Reset()
+		for i := range e.enabled {
+			e.enabled[i] = false
+		}
+		for i := range e.values {
+			e.values[i] = 0
+		}
+		for i := range e.termStatus {
+			e.termStatus[i] = false
+		}
+		for i := range e.condStatus {
+			e.condStatus[i] = false
+		}
+		// condHere depends only on (p, self) — both unchanged.
+		e.pending = e.pending[:0]
+		e.reorders = e.reorders[:0]
+		e.failed = false
+		e.active = false
+		return
+	}
 	e.prog = p
 	e.self = self
 	e.controlNode = controlNode
@@ -292,6 +324,26 @@ func (e *Engine) Deactivate() {
 // Revive clears a FAIL crash (the "reboot" between test cases).
 func (e *Engine) Revive() { e.failed = false }
 
+// Reset rewinds the engine to its pre-launch state for testbed reuse:
+// stats, the fault log, pending faults and the INIT reassembly state are
+// cleared, while the loaded tables and the INIT decode cache survive so
+// the next launch of the same scenario hits load's in-place fast path.
+func (e *Engine) Reset() {
+	e.Stats = EngineStats{}
+	e.faultLog = e.faultLog[:0]
+	e.pending = e.pending[:0]
+	e.reorders = e.reorders[:0]
+	e.cur = nil
+	e.cascadeDepth = 0
+	e.active = false
+	e.failed = false
+	e.initChunks = nil
+	e.initGot = 0
+	e.initDone = false
+	e.lastActivity = 0
+	e.activitySent = false
+}
+
 // --- stack.Layer data path ---
 
 // SendDown implements stack.Layer (outbound interception).
@@ -342,17 +394,21 @@ func (e *Engine) forward(fr *ether.Frame, dir Direction, consumed bool, cost tim
 		e.Stats.FailConsumed++
 		return
 	}
-	emit := func() {
-		e.inject(fr, dir)
-		if dup {
-			e.inject(fr.Clone(), dir)
-		}
-	}
 	if cost > 0 {
-		e.sched.After(cost, "vw.cost", emit)
+		// Only the delayed path pays for a closure; the common zero-cost
+		// path emits inline, allocation-free.
+		e.sched.After(cost, "vw.cost", func() {
+			e.inject(fr, dir)
+			if dup {
+				e.inject(fr.Clone(), dir)
+			}
+		})
 		return
 	}
-	emit()
+	e.inject(fr, dir)
+	if dup {
+		e.inject(fr.Clone(), dir)
+	}
 }
 
 // inject re-introduces a frame beyond the engine in the given direction.
@@ -468,7 +524,11 @@ func (e *Engine) bumpCounter(id CounterID, v int64) {
 // two terms of the same counter (e.g. CWND<=SSTHRESH and CWND>SSTHRESH)
 // must never see a half-updated mixture.
 func (e *Engine) reevalTerms(ts []TermID) {
-	var affected []CondID
+	// Stack-backed scratch: reevalTerms can recurse through action
+	// execution (cond fires -> counter op -> reevalTerms), so the buffer
+	// must be per-call, and real scripts touch only a handful of conds.
+	var buf [8]CondID
+	affected := buf[:0]
 	for _, t := range ts {
 		term := &e.prog.Terms[t]
 		if term.Home != e.self {
@@ -628,10 +688,31 @@ func (e *Engine) ExecCounterOp(kind ActionKind, id CounterID, v int64) {
 	if e.prog == nil || int(id) >= len(e.values) || kind.IsFault() {
 		return
 	}
-	a := ActionEntry{Kind: kind, Node: e.self, Counter: id, Value: v, Filter: -1, From: -1, To: -1}
-	e.prog.Actions = append(e.prog.Actions, a)
-	e.execAction(ActionID(len(e.prog.Actions)-1), 0)
-	e.prog.Actions = e.prog.Actions[:len(e.prog.Actions)-1]
+	// Inlined from execAction's counter arm rather than appending a
+	// synthetic entry to e.prog.Actions: the Program may be shared
+	// read-only across testbeds (CompileScript), so the engine must never
+	// mutate it, even transiently.
+	e.Stats.ActionsFired++
+	switch kind {
+	case ActAssignCntr:
+		e.bumpCounterEnable(id)
+		e.bumpCounter(id, v)
+	case ActEnableCntr:
+		e.bumpCounterEnable(id)
+	case ActDisableCntr:
+		e.enabled[id] = false
+	case ActIncrCntr:
+		e.bumpCounter(id, e.values[id]+v)
+	case ActDecrCntr:
+		e.bumpCounter(id, e.values[id]-v)
+	case ActResetCntr:
+		e.bumpCounter(id, 0)
+	case ActSetCurTime:
+		e.bumpCounter(id, int64(e.sched.Now()/time.Millisecond))
+	case ActElapsedTime:
+		now := int64(e.sched.Now() / time.Millisecond)
+		e.bumpCounter(id, now-e.values[id])
+	}
 }
 
 // matchesCur reports whether a fault action applies to the packet being
@@ -818,12 +899,12 @@ func (e *Engine) handleControlFrame(fr *ether.Frame) {
 	if dst != e.mac && !dst.IsBroadcast() {
 		return
 	}
-	m, err := decodeMsg(fr)
-	if err != nil {
+	var m Msg
+	if err := decodeMsg(fr, &m); err != nil {
 		return
 	}
 	e.Stats.CtlRcvd++
-	e.handleCtl(m)
+	e.handleCtl(&m)
 }
 
 func (e *Engine) handleCtl(m *Msg) {
@@ -854,6 +935,16 @@ func (e *Engine) handleCtl(m *Msg) {
 			e.controller.handle(m)
 		}
 	}
+}
+
+// SeedProgramCache pre-populates the INIT decode memo with a known
+// (blob, program) pair — the one a CompiledScript carries. When the
+// wire-reassembled INIT blob matches, the engine adopts the shared
+// program directly and never gob-decodes at all. blob must be exactly
+// EncodeProgram(p).
+func (e *Engine) SeedProgramCache(blob []byte, p *Program) {
+	e.cachedBlob = blob
+	e.cachedProg = p
 }
 
 // handleInitChunk reassembles the INIT distribution idempotently: chunks
@@ -892,9 +983,15 @@ func (e *Engine) handleInitChunk(m *Msg) {
 		blob = append(blob, c...)
 	}
 	e.initChunks = nil
-	p, err := decodeProgram(blob)
-	if err != nil {
-		return
+	p := e.cachedProg
+	if p == nil || !bytes.Equal(blob, e.cachedBlob) {
+		decoded, err := decodeProgram(blob)
+		if err != nil {
+			return
+		}
+		p = decoded
+		e.cachedBlob = blob
+		e.cachedProg = p
 	}
 	e.load(p, m.NodeID, m.ControlNode)
 	e.initDone = true

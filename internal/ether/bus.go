@@ -40,6 +40,10 @@ type activeTx struct {
 	start    time.Duration
 	end      *sim.Event
 	collided bool
+	// fire is the pre-bound completion callback, created once per
+	// activeTx so recycled transmissions (see SharedBus.free) schedule
+	// their end without a fresh closure.
+	fire func()
 }
 
 // SharedBus is a CSMA/CD shared segment: every attached NIC sees every
@@ -51,7 +55,10 @@ type SharedBus struct {
 	sched   *sim.Scheduler
 	nics    []*NIC
 	active  []*activeTx
+	free    []*activeTx // finished transmissions, ready for reuse
 	waiting []*NIC
+	// releaseFn is the pre-bound release callback (see scheduleRelease).
+	releaseFn func()
 	// idleAt is the earliest instant a deferred station may begin
 	// transmitting (end of last activity plus inter-frame gap).
 	idleAt time.Duration
@@ -74,7 +81,9 @@ var _ Medium = (*SharedBus)(nil)
 // configuration (zero values select defaults).
 func NewSharedBus(sched *sim.Scheduler, cfg BusConfig) *SharedBus {
 	cfg.fill()
-	return &SharedBus{cfg: cfg, sched: sched}
+	b := &SharedBus{cfg: cfg, sched: sched}
+	b.releaseFn = b.release
+	return b
 }
 
 // Attach implements Medium.
@@ -125,20 +134,24 @@ func (b *SharedBus) kick(n *NIC) {
 // still occur when stations begin transmitting within the propagation
 // window of each other (see kick).
 func (b *SharedBus) scheduleRelease() {
-	at := b.idleAt
-	b.sched.At(at, "bus.release", func() {
-		if len(b.active) > 0 || b.sched.Now() < b.idleAt {
+	b.sched.At(b.idleAt, "bus.release", b.releaseFn)
+}
+
+// release is scheduleRelease's pre-bound callback (releaseFn): binding
+// it once in NewSharedBus keeps the per-frame schedule allocation-free.
+func (b *SharedBus) release() {
+	if len(b.active) > 0 || b.sched.Now() < b.idleAt {
+		return
+	}
+	for len(b.waiting) > 0 {
+		n := b.waiting[0]
+		copy(b.waiting, b.waiting[1:])
+		b.waiting = b.waiting[:len(b.waiting)-1]
+		if n.head() != nil {
+			b.startTx(n)
 			return
 		}
-		for len(b.waiting) > 0 {
-			n := b.waiting[0]
-			b.waiting = b.waiting[1:]
-			if n.head() != nil {
-				b.startTx(n)
-				return
-			}
-		}
-	})
+	}
 }
 
 func (b *SharedBus) startTx(n *NIC) {
@@ -148,8 +161,18 @@ func (b *SharedBus) startTx(n *NIC) {
 	}
 	now := b.sched.Now()
 	dur := txDuration(len(fr.Data), b.cfg.BitsPerSecond)
-	tx := &activeTx{nic: n, frame: fr, start: now}
-	tx.end = b.sched.At(now+dur, "bus.txEnd", func() { b.finishTx(tx) })
+	var tx *activeTx
+	if l := len(b.free); l > 0 {
+		tx = b.free[l-1]
+		b.free[l-1] = nil
+		b.free = b.free[:l-1]
+		tx.nic, tx.frame, tx.start, tx.collided = n, fr, now, false
+	} else {
+		tx = &activeTx{nic: n, frame: fr, start: now}
+		self := tx
+		tx.fire = func() { b.finishTx(self) }
+	}
+	tx.end = b.sched.At(now+dur, "bus.txEnd", tx.fire)
 	b.active = append(b.active, tx)
 	if len(b.active) > 1 {
 		b.collide()
@@ -165,10 +188,11 @@ func (b *SharedBus) collide() {
 	ifg := bitTime(IFGBits, b.cfg.BitsPerSecond)
 	b.idleAt = now + jam + b.cfg.Propagation + ifg
 	txs := b.active
-	b.active = nil
+	b.active = b.active[:0]
 	for _, tx := range txs {
 		tx.end.Cancel()
 		n := tx.nic
+		b.recycle(tx)
 		if !n.collided() {
 			// Frame dropped after too many attempts; move on to the
 			// next queued frame, if any.
@@ -239,9 +263,31 @@ func (b *SharedBus) finishTx(tx *activeTx) {
 	if tx.nic.head() != nil {
 		b.waiting = append(b.waiting, tx.nic)
 	}
+	b.recycle(tx)
 	if len(b.waiting) > 0 {
 		b.scheduleRelease()
 	}
+}
+
+// recycle returns a finished or aborted transmission to the free list.
+func (b *SharedBus) recycle(tx *activeTx) {
+	tx.nic, tx.frame, tx.end = nil, nil, nil
+	b.free = append(b.free, tx)
+}
+
+// Reset clears all transient medium state (active transmissions,
+// deferring stations, the inter-frame-gap clock) and the segment
+// counters. Frames referenced by aborted transmissions still sit at the
+// head of their NIC's transmit queue and are recycled by NIC.Reset;
+// pending bus events are assumed cancelled (scheduler reset).
+func (b *SharedBus) Reset() {
+	b.active = nil
+	b.waiting = nil
+	b.idleAt = 0
+	b.TotalCollisions = 0
+	b.DeliveredFrames = 0
+	b.DeliveredBytes = 0
+	b.busyTime = 0
 }
 
 // Snapshot implements the uniform metrics hook: segment counters plus a

@@ -49,6 +49,7 @@ type NIC struct {
 	medium  Medium
 	pool    *FramePool // set by the medium on Attach; nil disables recycling
 	txq     []*Frame
+	txhead  int // index of the queue front within txq
 	txqCap  int
 	recv    func(*Frame)
 	nextID  *uint64
@@ -78,12 +79,12 @@ func (n *NIC) SetRecv(fn func(*Frame)) { n.recv = fn }
 func (n *NIC) Scheduler() *sim.Scheduler { return n.sched }
 
 // QueueLen reports the current transmit queue depth.
-func (n *NIC) QueueLen() int { return len(n.txq) }
+func (n *NIC) QueueLen() int { return len(n.txq) - n.txhead }
 
 // Send queues a frame for transmission. It reports false if the transmit
 // queue is full and the frame was dropped.
 func (n *NIC) Send(fr *Frame) bool {
-	if len(n.txq) >= n.txqCap {
+	if n.QueueLen() >= n.txqCap {
 		n.Stats.QueueDrops++
 		// Ownership passed to the NIC with the call; a dropped frame is
 		// dead and goes back to the testbed's pool.
@@ -101,6 +102,22 @@ func (n *NIC) Send(fr *Frame) bool {
 	return true
 }
 
+// Reset returns the NIC to its just-constructed state: queued frames go
+// back to the pool, counters and the collision backoff clear, and frame
+// IDs restart from zero. The receive upcall and medium attachment are
+// wiring, not run state, and survive.
+func (n *NIC) Reset() {
+	for i := n.txhead; i < len(n.txq); i++ {
+		n.pool.Put(n.txq[i])
+		n.txq[i] = nil
+	}
+	n.txq = n.txq[:0]
+	n.txhead = 0
+	n.Stats = Stats{}
+	n.backoff = 0
+	*n.nextID = 0
+}
+
 // Snapshot implements the uniform metrics hook: every Stats field plus
 // the instantaneous transmit queue depth.
 func (n *NIC) Snapshot() metrics.Snapshot {
@@ -113,24 +130,31 @@ func (n *NIC) Snapshot() metrics.Snapshot {
 	sn.Counter("crc_errors", n.Stats.CRCErrors)
 	sn.Counter("collisions", n.Stats.Collisions)
 	sn.Counter("tx_expired", n.Stats.TxExpired)
-	sn.Gauge("txq_len", float64(len(n.txq)))
+	sn.Gauge("txq_len", float64(n.QueueLen()))
 	return sn
 }
 
 // head returns the frame at the front of the transmit queue without
 // removing it, or nil.
 func (n *NIC) head() *Frame {
-	if len(n.txq) == 0 {
+	if n.txhead == len(n.txq) {
 		return nil
 	}
-	return n.txq[0]
+	return n.txq[n.txhead]
 }
 
-// dequeue removes and returns the frame at the front of the queue.
+// dequeue removes and returns the frame at the front of the queue. The
+// backing array is reused once the queue drains: advancing a bare
+// sub-slice (txq = txq[1:]) would shed the front capacity and force a
+// reallocation every txqCap sends.
 func (n *NIC) dequeue() *Frame {
-	fr := n.txq[0]
-	n.txq[0] = nil
-	n.txq = n.txq[1:]
+	fr := n.txq[n.txhead]
+	n.txq[n.txhead] = nil
+	n.txhead++
+	if n.txhead == len(n.txq) {
+		n.txq = n.txq[:0]
+		n.txhead = 0
+	}
 	return fr
 }
 

@@ -102,6 +102,21 @@ func (p *FramePool) Put(fr *Frame) {
 	p.free = append(p.free, fr)
 }
 
+// Reset zeroes the pool's counters for a fresh run while keeping the
+// free list warm: a reset pool serves the next run's frames without
+// allocating, which is the whole point of testbed reuse. (The "hits"
+// counter therefore diverges between a fresh and a reused testbed; the
+// run-report totals exclude it for exactly that reason.) Safe on a nil
+// pool.
+func (p *FramePool) Reset() {
+	if p == nil {
+		return
+	}
+	p.Gets = 0
+	p.Hits = 0
+	p.Puts = 0
+}
+
 // Snapshot implements the uniform metrics hook: recycling effectiveness
 // for the observability layer (surfaced as node="testbed", layer="pool").
 func (p *FramePool) Snapshot() metrics.Snapshot {

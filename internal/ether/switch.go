@@ -139,6 +139,28 @@ func (sw *Switch) ingress(idx int, fr *Frame) {
 	})
 }
 
+// Reset clears the learning table, forwarding counters and every port's
+// NIC and segment state. Port wiring (NICs, segments, MAC assignments)
+// persists, so a reset switch forwards for the same topology without
+// reconstruction. Callers reset the scheduler first, which cancels any
+// in-flight forward/deliver events.
+func (sw *Switch) Reset() {
+	for k := range sw.table {
+		delete(sw.table, k)
+	}
+	sw.FloodedFrames = 0
+	sw.ForwardedFrames = 0
+	for _, p := range sw.ports {
+		p.nic.Reset()
+		switch seg := p.segment.(type) {
+		case *SharedBus:
+			seg.Reset()
+		case *Link:
+			seg.Reset()
+		}
+	}
+}
+
 // PortStats returns the internal NIC stats for a port (for tests and
 // experiments that inspect queue drops).
 func (sw *Switch) PortStats(idx int) (Stats, error) {
@@ -230,6 +252,13 @@ func (l *Link) kick(n *NIC) {
 		return
 	}
 	l.pump(dir)
+}
+
+// Reset clears the per-direction serializer state. The attached NICs
+// are reset separately by their owners; pending tx/deliver events are
+// assumed cancelled (scheduler reset).
+func (l *Link) Reset() {
+	l.busy = [2]time.Duration{}
 }
 
 func (l *Link) dirOf(n *NIC) int {

@@ -271,6 +271,35 @@ func (r *Registry) get(k Key, kind Kind) *instrument {
 	return in
 }
 
+// Reset zeroes every direct instrument (counters, gauges, histogram
+// state) while keeping the instruments themselves and all registered
+// pull sources, so a reused testbed reports into the same registry
+// without re-registering anything. Pull sources read live layer state
+// and need no zeroing here — resetting the layers resets their
+// readings.
+func (r *Registry) Reset() {
+	for _, in := range r.instruments {
+		switch in.kind {
+		case KindCounter:
+			if in.c != nil {
+				in.c.v = 0
+			}
+		case KindGauge:
+			if in.g != nil {
+				in.g.v = 0
+			}
+		case KindHistogram:
+			if in.h != nil {
+				for i := range in.h.counts {
+					in.h.counts[i] = 0
+				}
+				in.h.sum = 0
+				in.h.n = 0
+			}
+		}
+	}
+}
+
 // RegisterSource installs a pull hook: fn is invoked on every Gather and
 // its readings are reported under (node, layer).
 func (r *Registry) RegisterSource(node, layer string, fn func() Snapshot) {

@@ -70,6 +70,18 @@ func (s *Sampler) Start() {
 // Stop halts sampling after the currently armed tick is skipped.
 func (s *Sampler) Stop() { s.running = false }
 
+// Reset discards all stored points and stops the sampler; call Start to
+// resume recording (after a scheduler reset has cancelled the
+// previously armed tick).
+func (s *Sampler) Reset() {
+	for i := range s.ring {
+		s.ring[i] = Point{}
+	}
+	s.next = 0
+	s.n = 0
+	s.running = false
+}
+
 func (s *Sampler) arm() {
 	s.schedule(s.interval, func() {
 		if !s.running {

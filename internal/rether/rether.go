@@ -153,6 +153,10 @@ type Layer struct {
 	grants       map[packet.MAC]int
 	reserveCb    func(ReserveResult)
 	reserveTimer *sim.Timer
+
+	// origRTQuota remembers the configured per-visit RT quota so Reset
+	// can undo reservation grants (applyGrant mutates cfg.RTQuota).
+	origRTQuota int
 }
 
 var _ stack.Layer = (*Layer)(nil)
@@ -170,7 +174,41 @@ func New(sched *sim.Scheduler, self packet.MAC, cfg Config) *Layer {
 	}
 	l.ackTimer = sim.NewTimer(sched, "rether.ack")
 	l.idleTimer = sim.NewTimer(sched, "rether.idle")
+	l.origRTQuota = l.cfg.RTQuota
 	return l
+}
+
+// Reset rewinds the layer to its pre-Start state: initial ring
+// membership, zero token state, empty queues, cleared counters, and any
+// reservation grant undone. The caller must invoke Start again (after
+// resetting the scheduler, which cancels the layer's timers).
+func (l *Layer) Reset() {
+	l.ring = l.ring[:0]
+	l.ring = append(l.ring, l.cfg.Ring...)
+	l.ringVersion = 0
+	l.holder = false
+	l.tokenSeq = 0
+	l.passSeq = 0
+	l.passTo = packet.MAC{}
+	l.passTries = 0
+	l.ackTimer.Disarm()
+	l.idleTimer.Disarm()
+	if l.reserveTimer != nil {
+		l.reserveTimer.Disarm()
+	}
+	l.started = false
+	for i := range l.beQueue {
+		l.beQueue[i] = nil
+	}
+	l.beQueue = l.beQueue[:0]
+	for i := range l.rtQueue {
+		l.rtQueue[i] = nil
+	}
+	l.rtQueue = l.rtQueue[:0]
+	l.Stats = Stats{}
+	l.grants = nil
+	l.reserveCb = nil
+	l.cfg.RTQuota = l.origRTQuota
 }
 
 // SetBelow implements stack.Layer.

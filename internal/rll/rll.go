@@ -183,6 +183,28 @@ func (r *RLL) Snapshot() metrics.Snapshot {
 	return sn
 }
 
+// Reset discards all per-peer window state and counters, recycling every
+// inflight and backlogged encapsulation, so the layer restarts with
+// fresh sequence spaces. Configuration, pool wiring and the Disabled
+// toggle survive; retransmission timers die with the scheduler reset
+// that accompanies this.
+func (r *RLL) Reset() {
+	for mac, ps := range r.send {
+		ps.timer.Disarm()
+		for _, fr := range ps.inflight {
+			r.pool.Put(fr)
+		}
+		for _, fr := range ps.backlog {
+			r.pool.Put(fr)
+		}
+		delete(r.send, mac)
+	}
+	for mac := range r.recv {
+		delete(r.recv, mac)
+	}
+	r.Stats = Stats{}
+}
+
 // SetBelow implements stack.Layer.
 func (r *RLL) SetBelow(d stack.Down) { r.base.SetBelow(d) }
 

@@ -206,6 +206,32 @@ func (s *Scheduler) After(d time.Duration, name string, fn func()) *Event {
 // Stop halts the run loop after the currently executing event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Reset rewinds the scheduler to its pristine post-NewScheduler state,
+// reseeded with seed: the clock returns to zero, every pending event is
+// cancelled, and the executed/scheduled/recycled counters restart. The
+// event free list survives (generations intact), so Timer handles armed
+// before the reset are recognized as stale rather than acted on, and a
+// reset scheduler schedules without allocating. Calling Reset from
+// inside an event callback is a programming error.
+func (s *Scheduler) Reset(seed int64) {
+	if s.running {
+		panic("sim: Reset called from inside the run loop")
+	}
+	for _, ev := range s.queue {
+		ev.state = stateCancelled
+		ev.fn = nil
+		ev.index = -1
+		s.free = append(s.free, ev)
+	}
+	s.queue = s.queue[:0]
+	s.now = 0
+	s.seq = 0
+	s.executed = 0
+	s.recycled = 0
+	s.stopped = false
+	s.rng.Seed(seed)
+}
+
 // Step fires the single earliest pending event and advances the clock.
 // It reports false when the queue is empty.
 func (s *Scheduler) Step() bool {

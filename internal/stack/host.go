@@ -51,6 +51,20 @@ func (h *Host) Build(layers ...Layer) {
 	h.down = Chain(h.NIC, h.IPv4, layers...)
 }
 
+// Reset returns the host's NIC, IP and UDP state to pristine. The layer
+// chain built with Build, the protocol handler registrations and the
+// static ARP table are wiring and survive; bound UDP sockets and all
+// stat counters do not.
+func (h *Host) Reset() {
+	h.NIC.Reset()
+	h.IPv4.RxPackets = 0
+	h.IPv4.RxHeaderErrors = 0
+	h.IPv4.RxNoHandler = 0
+	for port := range h.UDP.socks {
+		delete(h.UDP.socks, port)
+	}
+}
+
 // SendFrame pushes a fully built frame into the top of the layer chain
 // (it traverses every intermediate layer on the way to the wire).
 func (h *Host) SendFrame(fr *ether.Frame) {

@@ -206,6 +206,22 @@ func (s *Stack) deliver(src, dst packet.IP, payload []byte) {
 	}
 }
 
+// Reset discards every connection and listener and rewinds the ISN
+// generator and retired-counter totals, returning the stack to its
+// just-constructed state. Retransmission timers die with the scheduler
+// reset that precedes this; the IP protocol registration survives.
+func (s *Stack) Reset() {
+	for key, c := range s.conns {
+		c.rtx.Disarm()
+		delete(s.conns, key)
+	}
+	for port := range s.listeners {
+		delete(s.listeners, port)
+	}
+	s.isn = 0
+	s.retired = Stats{}
+}
+
 // retire removes a torn-down connection, folding its counters into the
 // stack totals first.
 func (s *Stack) retire(c *Conn) {

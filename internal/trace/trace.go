@@ -58,6 +58,13 @@ func (b *Buffer) add(e Entry) {
 	b.entries = append(b.entries, e)
 }
 
+// Reset discards all captured entries and the eviction count, keeping
+// the buffer's capacity for reuse.
+func (b *Buffer) Reset() {
+	b.entries = b.entries[:0]
+	b.dropped = 0
+}
+
 // Entries returns a copy of the captured entries in order.
 func (b *Buffer) Entries() []Entry {
 	out := make([]Entry, len(b.entries))

@@ -12,7 +12,7 @@ import (
 
 // runRetransmission builds and runs the tcp_retransmission.fsl scenario
 // with the given config overrides applied on top of the standard setup.
-func runRetransmission(t *testing.T, cfg Config) (*Testbed, Report) {
+func runRetransmission(t *testing.T, cfg Config) (*Testbed, RunReport) {
 	t.Helper()
 	script := readScript(t, "tcp_retransmission.fsl")
 	tb, err := New(cfg)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 )
@@ -52,11 +53,6 @@ type RunReport struct {
 	Metrics MetricsSummary `json:"metrics"`
 }
 
-// Report is the former name of RunReport.
-//
-// Deprecated: use RunReport.
-type Report = RunReport
-
 // NodeReport is one host's slice of a RunReport: its terminal state and
 // every layer's instrument readings (the same values Node.Snapshot
 // returns, keyed layer then metric name).
@@ -64,6 +60,69 @@ type NodeReport struct {
 	Name    string                        `json:"name"`
 	Crashed bool                          `json:"crashed,omitempty"`
 	Layers  map[string]map[string]float64 `json:"layers,omitempty"`
+}
+
+// MarshalJSON writes the report without reflection, like
+// MetricsSummary.MarshalJSON: the nested Layers maps otherwise dominate
+// per-record encoding cost in campaigns. Output matches the reflected
+// encoding (declaration order, omitted zero values, sorted map keys).
+func (n NodeReport) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 64+len(n.Layers)*256)
+	b = append(b, `{"name":`...)
+	b = appendJSONString(b, n.Name)
+	if n.Crashed {
+		b = append(b, `,"crashed":true`...)
+	}
+	if len(n.Layers) != 0 {
+		b = append(b, `,"layers":{`...)
+		layers := make([]string, 0, len(n.Layers))
+		for l := range n.Layers {
+			layers = append(layers, l)
+		}
+		sort.Strings(layers)
+		for i, l := range layers {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, l)
+			b = append(b, `:{`...)
+			vals := n.Layers[l]
+			names := make([]string, 0, len(vals))
+			for name := range vals {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for j, name := range names {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = appendJSONString(b, name)
+				b = append(b, ':')
+				b = appendJSONFloat(b, vals[name])
+			}
+			b = append(b, '}')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	return b, nil
+}
+
+// appendJSONString quotes s the way encoding/json would. Identifiers —
+// the overwhelmingly common case for node, layer and metric names — take
+// the allocation-free fast path; anything needing escapes falls back to
+// the real encoder.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, _ := json.Marshal(s)
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
 }
 
 // verdict condenses a result into RunReport.Verdict.

@@ -1,0 +1,158 @@
+package virtualwire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// resetTestHorizon keeps the property runs short but long enough for the
+// quickstart scenario's drop + retransmission to play out fully.
+const resetTestHorizon = 30 * time.Second
+
+// buildQuickstart assembles a testbed from the shared compiled script
+// with the standard quickstart TCP bulk workload staged.
+func buildQuickstart(t *testing.T, cs *CompiledScript, cfg Config) *Testbed {
+	t.Helper()
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddNodesFromCompiled(cs); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.LoadCompiled(cs); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func addQuickstartBulk(t *testing.T, tb *Testbed) {
+	t.Helper()
+	if _, err := tb.AddTCPBulk(TCPBulkConfig{
+		From: "node1", To: "node2",
+		SrcPort: 0x6000, DstPort: 0x4000, Bytes: 16 * 1024,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func reportBytes(t *testing.T, rep RunReport) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestResetMatchesFreshAcrossSeeds is the reset-to-reuse determinism
+// property: one long-lived testbed, rewound with Reset(seed) between
+// runs, must produce RunReports byte-identical to freshly built testbeds
+// for the same seeds — across 100+ seeds and under multiple stack
+// configurations (plain switch; RLL over a lossy wire). This is the
+// invariant that lets the campaign executor reuse worker testbeds
+// without the worker count ever changing a record.
+func TestResetMatchesFreshAcrossSeeds(t *testing.T) {
+	script := readScript(t, "quickstart_drop.fsl")
+	cs, err := CompileScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Scenario() != "quickstart_drop_fifth" {
+		t.Fatalf("compiled scenario %q", cs.Scenario())
+	}
+
+	configs := []struct {
+		name    string
+		cfg     Config
+		rether  bool
+		seeds   int
+		horizon time.Duration
+	}{
+		// seed 0 warms the reused testbed; the rest are reset-vs-fresh
+		// checks (100 on the primary config, per the campaign invariant).
+		{"switch", Config{}, false, 101, resetTestHorizon},
+		{"rll-lossy", Config{RLL: true, BitErrorRate: 1e-6}, false, 101, resetTestHorizon},
+		// The token ring idles the full horizon (no STOP drains it), so
+		// this config runs ~1M events per run: keep it short but still
+		// covering rether's reset path.
+		{"rether-bus", Config{Medium: MediumBus}, true, 4, 2 * time.Second},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			seedCount := tc.seeds
+			if testing.Short() && seedCount > 6 {
+				seedCount = 6
+			}
+			seeds := make([]int64, seedCount)
+			for i := range seeds {
+				seeds[i] = int64(i * 7919)
+			}
+			installRether := func(tb *Testbed) {
+				if !tc.rether {
+					return
+				}
+				if err := tb.InstallRether([]string{"node1", "node2"}, RetherConfig{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := tc.cfg
+			cfg.Seed = seeds[0]
+			reused := buildQuickstart(t, cs, cfg)
+			installRether(reused)
+			for i, seed := range seeds {
+				if i > 0 {
+					if err := reused.Reset(seed); err != nil {
+						t.Fatalf("Reset(%d): %v", seed, err)
+					}
+				}
+				addQuickstartBulk(t, reused)
+				repReused, err := reused.Run(tc.horizon)
+				if err != nil {
+					t.Fatalf("seed %d reused run: %v", seed, err)
+				}
+
+				fcfg := tc.cfg
+				fcfg.Seed = seed
+				fresh := buildQuickstart(t, cs, fcfg)
+				installRether(fresh)
+				addQuickstartBulk(t, fresh)
+				repFresh, err := fresh.Run(tc.horizon)
+				if err != nil {
+					t.Fatalf("seed %d fresh run: %v", seed, err)
+				}
+
+				got, want := reportBytes(t, repReused), reportBytes(t, repFresh)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("seed %d (iteration %d): reused testbed report diverges from fresh\nreused:\n%s\nfresh:\n%s",
+						seed, i, got, want)
+				}
+				if i > 0 && !repReused.Passed {
+					t.Fatalf("seed %d: reused run did not pass: %+v", seed, repReused.Result)
+				}
+			}
+		})
+	}
+}
+
+// TestResetBeforeBuildRejected pins the contract that Reset needs a
+// built testbed.
+func TestResetBeforeBuildRejected(t *testing.T) {
+	script := readScript(t, "quickstart_drop.fsl")
+	cs, err := CompileScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := buildQuickstart(t, cs, Config{})
+	if err := tb.Reset(1); err == nil {
+		t.Fatal("Reset before build accepted")
+	}
+	addQuickstartBulk(t, tb)
+	if _, err := tb.Run(resetTestHorizon); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Reset(1); err != nil {
+		t.Fatalf("Reset after build: %v", err)
+	}
+}

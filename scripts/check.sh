@@ -28,6 +28,26 @@ go run -race ./cmd/vwcampaign \
     -seeds 4 -ber 0,1e-6 -workers 4 -horizon 30s \
     -summary none
 
+echo "== campaign allocation gate =="
+# The campaign executor compiles each scenario variant once and resets
+# long-lived worker testbeds between runs; if a change quietly reverts to
+# per-run testbed construction (or re-introduces reflection/gob on the
+# record path), allocations jump an order of magnitude. Gate on the
+# serial 16-run benchmark: ~5.7k allocs/op today, 45k before the reuse
+# pipeline. Allocation counts are deterministic, so a short run suffices.
+ALLOC_LIMIT=9000
+ALLOCS="$(go test -run '^$' -bench 'BenchmarkCampaignSerial$' -benchmem -benchtime 3x ./campaign \
+    | awk '/^BenchmarkCampaignSerial/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i - 1) }')"
+if [ -z "$ALLOCS" ]; then
+    echo "campaign allocation gate: failed to measure allocs/op" >&2
+    exit 1
+fi
+if [ "$ALLOCS" -gt "$ALLOC_LIMIT" ]; then
+    echo "campaign allocations regressed: $ALLOCS allocs/op on the 16-run matrix (limit $ALLOC_LIMIT)" >&2
+    exit 1
+fi
+echo "campaign allocations: $ALLOCS allocs/op (limit $ALLOC_LIMIT)"
+
 echo "== bench smoke (one iteration) =="
 # Each benchmark runs exactly once: catches benchmarks that no longer
 # compile or crash, without paying measurement time. Full measurements

@@ -125,16 +125,17 @@ func TestSummaryAndPcap(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tb.Run(30 * time.Second); err != nil {
+	rep, err := tb.Run(30 * time.Second)
+	if err != nil {
 		t.Fatal(err)
 	}
-	sum := tb.Summary()
+	sum := rep.Text()
 	for _, wantStr := range []string{
 		"scenario \"TCP_SS_CA_algo\"", "node1", "node2",
-		"engine:", "control plane:", "nic:", "drop",
+		"engine:", "verdict", "intercepted", "fault(s) injected",
 	} {
 		if !strings.Contains(sum, wantStr) {
-			t.Errorf("summary missing %q:\n%s", wantStr, sum)
+			t.Errorf("report text missing %q:\n%s", wantStr, sum)
 		}
 	}
 	// Valid pcap: magic + at least the handshake frames.

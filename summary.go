@@ -2,7 +2,6 @@ package virtualwire
 
 import (
 	"fmt"
-	"strings"
 
 	"virtualwire/internal/fsl"
 )
@@ -62,60 +61,8 @@ func (tb *Testbed) LoadScriptScenario(src, name string) error {
 			}
 		}
 		tb.prog = p
+		tb.compiled = nil
 		return nil
 	}
 	return scriptErr(fmt.Errorf("script has no scenario %q", name))
-}
-
-// Summary renders a human-readable post-run report: scenario outcome,
-// per-node engine activity, and protocol-layer statistics. Intended for
-// CLI output and example programs.
-//
-// Deprecated: the same data now travels structured in the RunReport
-// returned by Run/RunContext (Result, Nodes, Metrics); render it with
-// RunReport.Text or marshal it with RunReport.WriteJSON. This shim is
-// kept so existing callers and examples continue to compile.
-func (tb *Testbed) Summary() string {
-	var b strings.Builder
-	if tb.ctl != nil {
-		res := tb.ctl.Result()
-		fmt.Fprintf(&b, "scenario %q: %s\n", tb.prog.Name, res)
-		for _, e := range res.Errors {
-			fmt.Fprintf(&b, "  error: %s\n", e)
-		}
-	} else {
-		b.WriteString("no scenario loaded\n")
-	}
-	fmt.Fprintf(&b, "virtual time %v, %d events\n", tb.sched.Now(), tb.sched.Executed())
-	for _, n := range tb.nodes {
-		st := n.engine.Stats
-		fmt.Fprintf(&b, "%-8s engine: %d intercepted, %d matched, %d counter updates, %d actions",
-			n.name, st.PacketsIntercepted, st.PacketsMatched, st.CounterUpdates, st.ActionsFired)
-		if faults := st.Drops + st.Delays + st.Dups + st.Modifies + st.Reorders; faults > 0 {
-			fmt.Fprintf(&b, " (faults: %d drop, %d delay, %d dup, %d modify, %d reorder)",
-				st.Drops, st.Delays, st.Dups, st.Modifies, st.Reorders)
-		}
-		if n.engine.Failed() {
-			b.WriteString(" [CRASHED by FAIL]")
-		}
-		b.WriteString("\n")
-		if st.CtlSent+st.CtlRcvd > 0 {
-			fmt.Fprintf(&b, "%-8s control plane: %d sent / %d received (%d bytes)\n",
-				"", st.CtlSent, st.CtlRcvd, st.CtlBytes)
-		}
-		if n.rll != nil {
-			rs := n.rll.Stats
-			fmt.Fprintf(&b, "%-8s rll: %d data, %d retransmitted, %d acks, %d crc drops\n",
-				"", rs.DataSent, rs.DataRetrans, rs.AcksSent, rs.CRCDrops)
-		}
-		if n.rether != nil {
-			ts := n.rether.Stats
-			fmt.Fprintf(&b, "%-8s rether: %d tokens sent, %d received, %d deaths declared, ring size %d\n",
-				"", ts.TokensSent, ts.TokensReceived, ts.NodesDeclaredDead, len(n.rether.Ring()))
-		}
-		ns := n.host.NIC.Stats
-		fmt.Fprintf(&b, "%-8s nic: %d tx / %d rx frames, %d collisions, %d crc errors\n",
-			"", ns.TxFrames, ns.RxFrames, ns.Collisions, ns.CRCErrors)
-	}
-	return b.String()
 }

@@ -58,6 +58,11 @@ type (
 	TraceEntry = trace.Entry
 )
 
+// Removed in this release: the deprecated `Report` alias and
+// `Testbed.Summary()`. Runs return a RunReport; render it with
+// RunReport.Text (the structured replacement for Summary) or marshal it
+// with RunReport.WriteJSON.
+
 // MediumKind selects the testbed wiring.
 type MediumKind int
 
@@ -239,11 +244,14 @@ type Testbed struct {
 	nodes  []*Node
 	byName map[string]*Node
 
-	prog    *core.Program
-	ctl     *core.Controller
-	tracing *trace.Buffer
-	reg     *metrics.Registry
-	sampler *metrics.Sampler
+	prog     *core.Program
+	compiled *CompiledScript // non-nil when prog came from LoadCompiled
+	ctl      *core.Controller
+	tracing  *trace.Buffer
+	reg      *metrics.Registry
+	sampler  *metrics.Sampler
+
+	totalsKeys map[[2]string]string // interned "layer/name" summary keys
 
 	retherRing []string
 	retherCfg  rether.Config
@@ -313,6 +321,18 @@ func (tb *Testbed) AddHost(name, mac, ip string) (*Node, error) {
 	addr, err := packet.ParseIP(ip)
 	if err != nil {
 		return nil, err
+	}
+	return tb.addHost(name, m, addr)
+}
+
+// addHost is AddHost after identity parsing — also the entry point for
+// compiled scripts, whose NODE_TABLE already carries parsed addresses.
+func (tb *Testbed) addHost(name string, m packet.MAC, addr packet.IP) (*Node, error) {
+	if tb.built {
+		return nil, fmt.Errorf("virtualwire: testbed already built")
+	}
+	if _, dup := tb.byName[name]; dup {
+		return nil, fmt.Errorf("virtualwire: host %q already added", name)
 	}
 	h := stack.NewHost(tb.sched, name, m, addr)
 	if tb.sw != nil {
@@ -425,6 +445,7 @@ func (tb *Testbed) LoadScript(src string) error {
 		}
 	}
 	tb.prog = prog
+	tb.compiled = nil
 	return nil
 }
 
@@ -509,6 +530,14 @@ func (tb *Testbed) build() error {
 		}
 		if tb.cfg.LaunchDeadline > 0 {
 			ctl.LaunchDeadline = tb.cfg.LaunchDeadline
+		}
+		if tb.compiled != nil && tb.compiled.prog == tb.prog {
+			ctl.SetInitBlob(tb.compiled.initBlob)
+			// Engines receiving that blob over the wire can adopt the
+			// shared program without ever gob-decoding it.
+			for _, n := range tb.nodes {
+				n.engine.SeedProgramCache(tb.compiled.initBlob, tb.compiled.prog)
+			}
 		}
 		tb.ctl = ctl
 	}
