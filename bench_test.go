@@ -6,6 +6,7 @@ package virtualwire_test
 // paper-scale sweeps. See EXPERIMENTS.md for recorded results.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 	"time"
@@ -240,6 +241,86 @@ END`
 	}
 	if echo.Received() < b.N {
 		b.Fatalf("echo received %d/%d", echo.Received(), b.N)
+	}
+}
+
+// buildFatTree assembles an n-host fat-tree testbed and forces the
+// build (fabric wiring, layer chains, static ARP).
+func buildFatTree(b *testing.B, n int, seed int64) *virtualwire.Testbed {
+	b.Helper()
+	tb, err := virtualwire.New(virtualwire.Config{
+		Seed:     seed,
+		Topology: &virtualwire.TopologySpec{Kind: virtualwire.TopoFatTree},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tb.AddHostGroup("h", n); err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.RunFor(time.Microsecond); err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// BenchmarkTopologyBuild measures assembling a fat-tree testbed at 100,
+// 500 and 1000 hosts: switches, trunks, spanning tree, hosts, layer
+// chains and the full-mesh static ARP.
+func BenchmarkTopologyBuild(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("fattree/n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buildFatTree(b, n, int64(i+1))
+			}
+		})
+	}
+}
+
+// BenchmarkTopologyRun measures steady-state forwarding across the
+// fabric: a many-flow mesh (one flow per ten hosts) run to completion.
+func BenchmarkTopologyRun(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		b.Run(fmt.Sprintf("fattree/n%d", n), func(b *testing.B) {
+			tb := buildFatTree(b, n, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tb.Reset(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+				mf, err := tb.AddManyFlow(virtualwire.ManyFlowConfig{
+					Flows: n / 10, Bytes: 4 << 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tb.Run(2 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				if mf.Completed() != mf.Flows() {
+					b.Fatalf("flows completed %d/%d", mf.Completed(), mf.Flows())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopologyReset1000 isolates the rewind cost of a 1000-host
+// fat-tree testbed — the per-run overhead a campaign pays to reuse the
+// built fabric. scripts/check.sh gates its allocs/op.
+func BenchmarkTopologyReset1000(b *testing.B) {
+	tb := buildFatTree(b, 1000, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Reset(int64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.RunFor(time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

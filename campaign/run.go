@@ -317,10 +317,13 @@ func newTestbedCache(spec *Spec) *testbedCache {
 }
 
 // run executes one attempt of one point, reusing the shape's testbed
-// when possible. Points that cannot reuse (scriptless, or hosts defined
-// by a separate Spec.Nodes source) fall back to a fresh build per run.
+// when possible. Compiled-script points reuse via the staged tables;
+// scriptless host-group points (Spec.Hosts) reuse their generated hosts
+// and fabric. Remaining shapes (hosts from a separate Spec.Nodes source)
+// fall back to a fresh build per run.
 func (c *testbedCache) run(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
-	if p.compiled == nil || (spec.Nodes != "" && spec.Nodes != p.script) {
+	hostGroup := p.compiled == nil && p.script == "" && spec.Nodes == "" && spec.Hosts > 0
+	if !hostGroup && (p.compiled == nil || (spec.Nodes != "" && spec.Nodes != p.script)) {
 		return runOnce(ctx, spec, p, rec)
 	}
 	tb := c.tbs[p.shapeID]
@@ -341,11 +344,17 @@ func (c *testbedCache) run(ctx context.Context, spec *Spec, p point, rec *RunRec
 		if err != nil {
 			return err
 		}
-		if err := fresh.AddNodesFromCompiled(p.compiled); err != nil {
-			return err
-		}
-		if err := fresh.LoadCompiled(p.compiled); err != nil {
-			return err
+		if hostGroup {
+			if _, err := fresh.AddHostGroup("h", spec.Hosts); err != nil {
+				return err
+			}
+		} else {
+			if err := fresh.AddNodesFromCompiled(p.compiled); err != nil {
+				return err
+			}
+			if err := fresh.LoadCompiled(p.compiled); err != nil {
+				return err
+			}
 		}
 		tb = fresh
 		c.tbs[p.shapeID] = tb
@@ -370,9 +379,12 @@ func runOnce(ctx context.Context, spec *Spec, p point, rec *RunRecord) error {
 	if nodeSrc == "" {
 		nodeSrc = p.script
 	}
-	if p.compiled != nil && nodeSrc == p.script {
+	switch {
+	case nodeSrc == "" && spec.Hosts > 0:
+		_, err = tb.AddHostGroup("h", spec.Hosts)
+	case p.compiled != nil && nodeSrc == p.script:
 		err = tb.AddNodesFromCompiled(p.compiled)
-	} else {
+	default:
 		err = tb.AddNodesFromScript(nodeSrc)
 	}
 	if err != nil {

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scaleSpec is a scriptless host-group campaign over a multi-switch
+// fabric: the topology-scale shape that has no NODE_TABLE at all.
+func scaleSpec(hosts, seeds int) Spec {
+	return Spec{
+		Name:      "scale-matrix",
+		Seed:      7,
+		SeedCount: seeds,
+		Hosts:     hosts,
+		Horizon:   Duration(5 * time.Second),
+		Configs: []ConfigOverride{{
+			Label:      "star/compiled",
+			Classifier: "compiled",
+			Topology:   &TopologyOverride{Kind: "star", Switches: 3},
+		}},
+		Workloads: []WorkloadSpec{{
+			Kind: "incast", Count: 8, Bytes: 4 << 10,
+		}},
+	}
+}
+
+// Scriptless host-group campaigns run, reuse worker testbeds across
+// seeds, and stay deterministic across worker counts.
+func TestHostGroupCampaign(t *testing.T) {
+	spec := scaleSpec(24, 4)
+	refSink, refSum := runToBytes(t, spec, 1)
+	if got := bytes.Count(refSink, []byte("\n")); got != spec.Runs() {
+		t.Fatalf("sink lines = %d, want %d", got, spec.Runs())
+	}
+	gotSink, gotSum := runToBytes(t, spec, 4)
+	if !bytes.Equal(gotSink, refSink) {
+		t.Error("JSONL with 4 workers differs from serial run")
+	}
+	if !bytes.Equal(gotSum, refSum) {
+		t.Error("summary with 4 workers differs from serial run")
+	}
+
+	var sum Summary
+	if err := json.Unmarshal(refSum, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Passed != spec.Runs() {
+		t.Fatalf("passed %d/%d", sum.Passed, spec.Runs())
+	}
+	if sum.MetricsTotals["fabric/forwarded_frames"] <= 0 {
+		t.Errorf("no fabric forwarding in rollup: %v", sum.MetricsTotals)
+	}
+
+	// Every incast completed: Received (completed transfers) == Sent
+	// (senders) in each record.
+	for _, line := range strings.Split(strings.TrimSpace(string(refSink)), "\n") {
+		var rec RunRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Sent != 8 || rec.Received != 8 {
+			t.Fatalf("record %d: %d/%d incast transfers completed", rec.Index, rec.Received, rec.Sent)
+		}
+		if rec.DeliveredBytes != 8*(4<<10) {
+			t.Fatalf("record %d: delivered %d bytes", rec.Index, rec.DeliveredBytes)
+		}
+	}
+}
+
+// The classifier axis composes with scripted campaigns: linear and
+// compiled strategies produce byte-identical records.
+func TestClassifierAxisEquivalence(t *testing.T) {
+	base := quickstartSpec(2, nil)
+	mk := func(strategy string) Spec {
+		s := base
+		s.Configs = []ConfigOverride{{Classifier: strategy}}
+		return s
+	}
+	linSink, _ := runToBytes(t, mk("linear"), 1)
+	cmpSink, _ := runToBytes(t, mk("compiled"), 1)
+	if !bytes.Equal(linSink, cmpSink) {
+		t.Fatal("compiled classifier changed campaign records vs linear")
+	}
+}
+
+// Topology/classifier validation fails fast at expand time, before any
+// run starts.
+func TestScaleSpecValidation(t *testing.T) {
+	bad := scaleSpec(24, 1)
+	bad.Configs[0].Classifier = "warp"
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("unknown classifier accepted")
+	}
+	bad = scaleSpec(24, 1)
+	bad.Configs[0].Topology.Kind = "moebius"
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("unknown topology kind accepted")
+	}
+	bad = scaleSpec(24, 1)
+	bad.Hosts = 0
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("scriptless spec with no hosts accepted")
+	}
+	bad = scaleSpec(24, 1)
+	bad.Workloads[0].Kind = "stampede"
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("unknown workload kind accepted")
+	}
+}

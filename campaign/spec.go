@@ -83,8 +83,13 @@ type Spec struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Nodes, when set, is an FSL source whose NODE_TABLE defines the
 	// hosts; it defaults to the run's script. Scriptless variants (a
-	// baseline) need it.
+	// baseline) need it — or Hosts.
 	Nodes string `json:"nodes,omitempty"`
+	// Hosts, when positive, bulk-populates every scriptless run with
+	// this many generated hosts (Testbed.AddHostGroup) instead of a
+	// NODE_TABLE — the 1000-node topology-scale path. Ignored for runs
+	// that carry a script.
+	Hosts int `json:"hosts,omitempty"`
 	// Horizon is the virtual-time horizon of every run (required).
 	Horizon Duration `json:"horizon"`
 	// Timeout, when positive, bounds each run's real (wall-clock) time;
@@ -125,12 +130,35 @@ type ConfigOverride struct {
 	Propagation Duration `json:"propagation,omitempty"`
 	// IndexedClassifier toggles the classifier ablation.
 	IndexedClassifier *bool `json:"indexed_classifier,omitempty"`
+	// Classifier selects the classification strategy axis value:
+	// "default", "linear", "indexed", "compiled" or "auto".
+	Classifier string `json:"classifier,omitempty"`
+	// Topology replaces the single switch with a generated multi-switch
+	// fabric for this axis value.
+	Topology *TopologyOverride `json:"topology,omitempty"`
 	// Cost overrides the engine processing-cost model.
 	Cost *virtualwire.CostModel `json:"cost,omitempty"`
 	// MetricsSampleInterval enables per-run metrics sampling.
 	MetricsSampleInterval Duration `json:"metrics_sample_interval,omitempty"`
 	// LaunchDeadline overrides the control-plane launch deadline.
 	LaunchDeadline Duration `json:"launch_deadline,omitempty"`
+}
+
+// TopologyOverride selects a generated multi-switch fabric (see
+// virtualwire.TopologySpec and docs/TOPOLOGIES.md).
+type TopologyOverride struct {
+	// Kind is "single", "star", "ring", "fattree" or "random".
+	Kind string `json:"kind"`
+	// Switches sizes star/ring/random fabrics (0 = auto).
+	Switches int `json:"switches,omitempty"`
+	// FatTreeK is the fat-tree arity (0 = smallest fit).
+	FatTreeK int `json:"fattree_k,omitempty"`
+	// ExtraTrunks adds redundant blocked trunks to random fabrics.
+	ExtraTrunks int `json:"extra_trunks,omitempty"`
+	// TrunkMbps is the trunk bandwidth in Mbps (0 = 10x host rate).
+	TrunkMbps float64 `json:"trunk_mbps,omitempty"`
+	// WiringSeed seeds the random generator's wiring (0 = 1).
+	WiringSeed int64 `json:"wiring_seed,omitempty"`
 }
 
 // apply folds the override into cfg, validating enumerated fields.
@@ -164,6 +192,27 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	if o.IndexedClassifier != nil {
 		cfg.IndexedClassifier = *o.IndexedClassifier
 	}
+	if o.Classifier != "" {
+		strat, err := virtualwire.ParseClassifierStrategy(o.Classifier)
+		if err != nil {
+			return err
+		}
+		cfg.Classifier = strat
+	}
+	if o.Topology != nil {
+		kind, err := virtualwire.ParseTopologyKind(o.Topology.Kind)
+		if err != nil {
+			return err
+		}
+		cfg.Topology = &virtualwire.TopologySpec{
+			Kind:               kind,
+			Switches:           o.Topology.Switches,
+			FatTreeK:           o.Topology.FatTreeK,
+			ExtraTrunks:        o.Topology.ExtraTrunks,
+			TrunkBitsPerSecond: o.Topology.TrunkMbps * 1e6,
+			WiringSeed:         o.Topology.WiringSeed,
+		}
+	}
 	if o.Cost != nil {
 		cfg.Cost = *o.Cost
 	}
@@ -181,7 +230,8 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 type WorkloadSpec struct {
 	// Label names the axis value in records; derived when empty.
 	Label string `json:"label,omitempty"`
-	// Kind is "tcpbulk", "udpecho", "udpstream" or "none".
+	// Kind is "tcpbulk", "udpecho", "udpstream", "incast", "manyflow"
+	// or "none".
 	Kind string `json:"kind"`
 	// From and To name the hosts (client and server).
 	From string `json:"from,omitempty"`
@@ -199,12 +249,16 @@ type WorkloadSpec struct {
 	CloseWhenDone bool `json:"close_when_done,omitempty"`
 	// DisableCongestionControl runs the deliberately broken TCP sender.
 	DisableCongestionControl bool `json:"disable_congestion_control,omitempty"`
-	// Count bounds udpecho pings / udpstream datagrams.
+	// Count bounds udpecho pings / udpstream datagrams / incast senders.
 	Count int `json:"count,omitempty"`
 	// Size is the udpecho/udpstream payload size.
 	Size int `json:"size,omitempty"`
 	// Interval paces udpecho/udpstream.
 	Interval Duration `json:"interval,omitempty"`
+	// Flows sizes the manyflow mesh (0 = one per host).
+	Flows int `json:"flows,omitempty"`
+	// Stagger spaces incast/manyflow connection attempts.
+	Stagger Duration `json:"stagger,omitempty"`
 }
 
 // measurer extracts post-run workload measurements into a RunRecord.
@@ -236,13 +290,29 @@ func (m udpStreamMeasurer) measure(rec *RunRecord) {
 	rec.MaxInterArrival = Duration(m.w.MaxInterArrival())
 }
 
+type incastMeasurer struct{ w *virtualwire.Incast }
+
+func (m incastMeasurer) measure(rec *RunRecord) {
+	rec.Sent = m.w.Senders()
+	rec.Received = m.w.Completed()
+	rec.DeliveredBytes = m.w.DeliveredBytes()
+}
+
+type manyFlowMeasurer struct{ w *virtualwire.ManyFlow }
+
+func (m manyFlowMeasurer) measure(rec *RunRecord) {
+	rec.Sent = m.w.Flows()
+	rec.Received = m.w.Completed()
+	rec.DeliveredBytes = m.w.DeliveredBytes()
+}
+
 // validate rejects malformed workload kinds before any run starts.
 func (w *WorkloadSpec) validate() error {
 	switch w.Kind {
-	case "", "none", "tcpbulk", "udpecho", "udpstream":
+	case "", "none", "tcpbulk", "udpecho", "udpstream", "incast", "manyflow":
 		return nil
 	}
-	return fmt.Errorf("campaign: unknown workload kind %q (want tcpbulk, udpecho, udpstream or none)", w.Kind)
+	return fmt.Errorf("campaign: unknown workload kind %q (want tcpbulk, udpecho, udpstream, incast, manyflow or none)", w.Kind)
 }
 
 // install stages the workload on tb and returns its measurer (nil for
@@ -285,6 +355,29 @@ func (w *WorkloadSpec) install(tb *virtualwire.Testbed) (measurer, error) {
 			return nil, err
 		}
 		return udpStreamMeasurer{stream}, nil
+	case "incast":
+		inc, err := tb.AddIncast(virtualwire.IncastConfig{
+			To:      w.To,
+			Count:   w.Count,
+			DstPort: w.DstPort, SrcPort: w.SrcPort,
+			Bytes:   w.Bytes,
+			Stagger: w.Stagger.D(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return incastMeasurer{inc}, nil
+	case "manyflow":
+		mf, err := tb.AddManyFlow(virtualwire.ManyFlowConfig{
+			Flows:    w.Flows,
+			BasePort: w.DstPort,
+			Bytes:    w.Bytes,
+			Stagger:  w.Stagger.D(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return manyFlowMeasurer{mf}, nil
 	}
 	return nil, w.validate()
 }
@@ -472,8 +565,8 @@ func (s *Spec) expand() ([]point, error) {
 				return nil, err
 			}
 		}
-		if sh.script == "" && s.Nodes == "" {
-			return nil, fmt.Errorf("campaign: shape %q has no node table (no script and no Spec.Nodes)", sh.label)
+		if sh.script == "" && s.Nodes == "" && s.Hosts <= 0 {
+			return nil, fmt.Errorf("campaign: shape %q has no hosts (no script, no Spec.Nodes, no Spec.Hosts)", sh.label)
 		}
 		if sh.script == "" {
 			continue

@@ -1,7 +1,10 @@
 // Command fslcheck parses a Fault Specification Language script and
 // prints the six tables the VirtualWire front-end compiles it into
 // (filter, node, counter, term, condition, action — Figure 3 of the
-// paper). It is the quickest way to validate a script before running it.
+// paper), followed by the compiled classifier dispatch shape (tree
+// depth, fanout, worst-case tuple comparisons). It is the quickest way
+// to validate a script — and to see whether its filter table compiles
+// into an effective dispatch tree — before running it.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"virtualwire/internal/core"
 	"virtualwire/internal/fsl"
 )
 
@@ -38,7 +42,26 @@ func run(args []string) error {
 		for _, p := range progs {
 			fmt.Printf("=== %s: %s ===\n\n", path, p.Name)
 			fmt.Println(p.Dump())
+			printDispatchShape(p)
 		}
 	}
 	return nil
+}
+
+// printDispatchShape reports the compiled classifier dispatch tree: how
+// the filter table will classify under Config.Classifier =
+// compiled/auto, and whether the table has discriminating literal
+// fields at all.
+func printDispatchShape(p *core.Program) {
+	s := p.CompiledDispatch().Shape()
+	fmt.Println("COMPILED DISPATCH")
+	fmt.Printf("  filters           %d\n", s.Filters)
+	fmt.Printf("  tree nodes        %d (%d leaves)\n", s.Nodes, s.Leaves)
+	fmt.Printf("  depth             %d\n", s.Depth)
+	fmt.Printf("  max fanout        %d\n", s.MaxFanout)
+	fmt.Printf("  worst-case tuples %d\n", s.WorstCaseTuples)
+	if s.Degenerate() {
+		fmt.Println("  WARNING: no discriminating literal field — compiled dispatch degenerates to a linear scan")
+	}
+	fmt.Println()
 }

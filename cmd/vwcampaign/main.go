@@ -58,6 +58,11 @@ func run() (int, error) {
 	medium := flag.String("medium", "", "testbed medium: switch, bus or fdswitch")
 	tcpSpec := flag.String("tcp", "", "TCP bulk workload: from:port-to:port:bytes")
 	echoSpec := flag.String("echo", "", "UDP echo workload: client-server:port:count")
+	hosts := flag.Int("hosts", 0, "scriptless runs over this many generated hosts (alternative to -script)")
+	topology := flag.String("topology", "", "multi-switch fabric: kind[:switches], kind = star, ring, fattree or random")
+	classifier := flag.String("classifier", "", "classifier strategy: linear, indexed, compiled or auto")
+	incastSpec := flag.String("incast", "", "incast workload: senders:bytes (N-to-1 onto the first host)")
+	manyflowSpec := flag.String("manyflow", "", "many-flow workload: flows:bytes (random pairs across all hosts)")
 	horizon := flag.Duration("horizon", 60*time.Second, "virtual-time horizon per run")
 	timeout := flag.Duration("timeout", 0, "wall-clock timeout per run (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for transiently failing runs")
@@ -71,8 +76,8 @@ func run() (int, error) {
 	var spec campaign.Spec
 	switch {
 	case *specPath != "":
-		if *scriptPath != "" {
-			return 1, fmt.Errorf("-spec and -script are mutually exclusive")
+		if *scriptPath != "" || *hosts > 0 {
+			return 1, fmt.Errorf("-spec is exclusive with -script and -hosts")
 		}
 		raw, err := os.ReadFile(*specPath)
 		if err != nil {
@@ -83,20 +88,25 @@ func run() (int, error) {
 		if err := dec.Decode(&spec); err != nil {
 			return 1, fmt.Errorf("%s: %w", *specPath, err)
 		}
-	case *scriptPath != "":
-		src, err := os.ReadFile(*scriptPath)
-		if err != nil {
-			return 1, err
-		}
+	case *scriptPath != "" || *hosts > 0:
 		spec = campaign.Spec{
 			Name:      strings.TrimSuffix(*scriptPath, ".fsl"),
 			Seed:      *seed,
 			SeedCount: *seeds,
-			Script:    string(src),
 			Scenario:  *scenario,
 			Horizon:   campaign.Duration(*horizon),
 			Timeout:   campaign.Duration(*timeout),
 			Retries:   *retries,
+			Hosts:     *hosts,
+		}
+		if *scriptPath != "" {
+			src, err := os.ReadFile(*scriptPath)
+			if err != nil {
+				return 1, err
+			}
+			spec.Script = string(src)
+		} else {
+			spec.Name = fmt.Sprintf("hosts%d", *hosts)
 		}
 		if *nodesPath != "" {
 			nsrc, err := os.ReadFile(*nodesPath)
@@ -127,6 +137,22 @@ func run() (int, error) {
 				spec.Configs[i].RLL = &on
 			}
 		}
+		if *topology != "" || *classifier != "" {
+			if len(spec.Configs) == 0 {
+				spec.Configs = []campaign.ConfigOverride{{Medium: *medium}}
+			}
+			var topo *campaign.TopologyOverride
+			if *topology != "" {
+				var err error
+				if topo, err = parseTopology(*topology); err != nil {
+					return 1, fmt.Errorf("-topology: %w", err)
+				}
+			}
+			for i := range spec.Configs {
+				spec.Configs[i].Classifier = *classifier
+				spec.Configs[i].Topology = topo
+			}
+		}
 		if *tcpSpec != "" {
 			wl, err := parseTCPSpec(*tcpSpec)
 			if err != nil {
@@ -141,9 +167,23 @@ func run() (int, error) {
 			}
 			spec.Workloads = append(spec.Workloads, wl)
 		}
+		if *incastSpec != "" {
+			wl, err := parseCountBytes("incast", *incastSpec)
+			if err != nil {
+				return 1, fmt.Errorf("-incast: %w", err)
+			}
+			spec.Workloads = append(spec.Workloads, wl)
+		}
+		if *manyflowSpec != "" {
+			wl, err := parseCountBytes("manyflow", *manyflowSpec)
+			if err != nil {
+				return 1, fmt.Errorf("-manyflow: %w", err)
+			}
+			spec.Workloads = append(spec.Workloads, wl)
+		}
 	default:
 		flag.Usage()
-		return 1, fmt.Errorf("one of -spec or -script is required")
+		return 1, fmt.Errorf("one of -spec, -script or -hosts is required")
 	}
 
 	opts := campaign.Options{Workers: *workers}
@@ -230,6 +270,49 @@ func parseTCPSpec(s string) (campaign.WorkloadSpec, error) {
 	wl.From, wl.To = fp[0], tp[0]
 	wl.SrcPort, wl.DstPort = uint16(sport), uint16(dport)
 	wl.Bytes = bytes
+	return wl, nil
+}
+
+// parseTopology parses kind[:switches].
+func parseTopology(s string) (*campaign.TopologyOverride, error) {
+	parts := strings.SplitN(s, ":", 2)
+	topo := &campaign.TopologyOverride{Kind: parts[0]}
+	if len(parts) == 2 {
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		if topo.Kind == "fattree" {
+			topo.FatTreeK = n
+		} else {
+			topo.Switches = n
+		}
+	}
+	return topo, nil
+}
+
+// parseCountBytes parses count:bytes into an incast/manyflow workload.
+func parseCountBytes(kind, s string) (campaign.WorkloadSpec, error) {
+	var wl campaign.WorkloadSpec
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return wl, fmt.Errorf("want count:bytes")
+	}
+	count, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return wl, err
+	}
+	bytes, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return wl, err
+	}
+	wl.Kind = kind
+	wl.Bytes = bytes
+	if kind == "manyflow" {
+		wl.Flows = count
+	} else {
+		wl.Count = count
+	}
 	return wl, nil
 }
 

@@ -53,6 +53,10 @@ func newCompiledScript(src string, prog *core.Program) (*CompiledScript, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Build the classifier dispatch tree eagerly, alongside the INIT
+	// blob: compile-once artifacts both, shared read-only by every engine
+	// that adopts this program (Config.Classifier: compiled/auto).
+	prog.CompiledDispatch()
 	return &CompiledScript{src: src, prog: prog, initBlob: blob}, nil
 }
 
@@ -123,6 +127,11 @@ func (tb *Testbed) Reset(seed int64) error {
 	tb.sched.Reset(seed)
 	if tb.sw != nil {
 		tb.sw.Reset()
+	}
+	for _, sw := range tb.fabric {
+		// Clears learned MACs and counters; trunk wiring and blocked
+		// (spanning-tree) ports are topology state and survive.
+		sw.Reset()
 	}
 	if tb.bus != nil {
 		tb.bus.Reset()

@@ -7,56 +7,141 @@ import (
 	"virtualwire/internal/ether"
 )
 
-// Classifier matches raw frames against the filter table. The default
-// strategy is the paper's: a linear scan in table order with first-match
-// priority ("the current VirtualWire implementation searches linearly
-// through the packet type definitions", Section 7 — the cause of Figure
-// 8's linear overhead growth). An optional ethertype-bucketed index is
-// provided as the ablation DESIGN.md describes.
+// Strategy selects how the classifier searches the filter table. All
+// strategies implement identical semantics — same winning filter, same
+// committed bindings — and differ only in work per packet (see
+// docs/PERFORMANCE.md for the measured crossover).
+type Strategy int
+
+const (
+	// StrategyDefault resolves to linear, or indexed when the engine's
+	// UseIndexedClassifier compatibility flag is set.
+	StrategyDefault Strategy = iota
+	// StrategyLinear is the paper's: a scan in table order with
+	// first-match priority ("the current VirtualWire implementation
+	// searches linearly through the packet type definitions", Section 7 —
+	// the cause of Figure 8's linear overhead growth). Fastest at
+	// testbed-typical table sizes.
+	StrategyLinear
+	// StrategyIndexed buckets filters by a literal ethertype tuple — the
+	// ablation DESIGN.md describes.
+	StrategyIndexed
+	// StrategyCompiled walks the program's compiled dispatch tree
+	// (dispatch.go): flat in #filters.
+	StrategyCompiled
+	// StrategyAuto picks compiled for tables of AutoCompileThreshold or
+	// more filters, linear below.
+	StrategyAuto
+)
+
+// AutoCompileThreshold is the table size at which StrategyAuto switches
+// from the linear scan to compiled dispatch. Below it the scan's lack of
+// per-node probes wins; see the BenchmarkClassifierSize sweep.
+const AutoCompileThreshold = 16
+
+// String names the strategy as config surfaces spell it.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyDefault:
+		return "default"
+	case StrategyLinear:
+		return "linear"
+	case StrategyIndexed:
+		return "indexed"
+	case StrategyCompiled:
+		return "compiled"
+	case StrategyAuto:
+		return "auto"
+	}
+	return "unknown"
+}
+
+// Resolve maps Default/Auto onto a concrete strategy for a table of
+// nFilters entries (indexedCompat is the legacy UseIndexedClassifier
+// flag).
+func (s Strategy) Resolve(indexedCompat bool, nFilters int) Strategy {
+	switch s {
+	case StrategyDefault:
+		if indexedCompat {
+			return StrategyIndexed
+		}
+		return StrategyLinear
+	case StrategyAuto:
+		if nFilters >= AutoCompileThreshold {
+			return StrategyCompiled
+		}
+		return StrategyLinear
+	}
+	return s
+}
+
+// Classifier matches raw frames against the filter table under one of the
+// strategies above. Matching stages variable bindings and commits only
+// the winning filter's, so every strategy reproduces linear first-match
+// semantics exactly.
 type Classifier struct {
 	filters []FilterEntry
 	// vars holds the run-time bindings of VAR-referenced tuples; nil
 	// means unbound. Bindings are engine-local.
 	vars [][]byte
 
-	// Indexed selects the bucketed strategy.
-	Indexed bool
+	// Strategy selects the search (a concrete strategy; Default behaves
+	// as linear).
+	Strategy Strategy
+
 	// buckets maps the 2-byte ethertype to candidate filter indices;
 	// filters without a literal (12 2 pattern) tuple go to anyBucket.
+	// Built lazily on the first indexed classification.
 	buckets   map[uint16][]int
 	anyBucket []int
+
+	// dispatch is the compiled decision tree, shared immutably across
+	// engines when adopted from Program.CompiledDispatch; built lazily
+	// (privately) if the compiled strategy is selected without one.
+	dispatch *Dispatch
 
 	// TuplesCompared counts tuple comparisons (the unit of the Figure 8
 	// cost model).
 	TuplesCompared uint64
-	// FiltersScanned counts filter entries visited.
+	// FiltersScanned counts filter entries visited. Compiled dispatch
+	// scans a subset of the linear scan's filters for every frame.
 	FiltersScanned uint64
+	// NodeTests counts dispatch-tree field probes (compiled strategy
+	// only). Kept separate from TuplesCompared so the per-filter
+	// comparison counts stay strategy-monotone; the engine cost model
+	// charges both at PerTuple.
+	NodeTests uint64
 
 	// scratch holds the not-yet-committed variable bindings of the filter
-	// currently being matched. Classification is strictly sequential per
-	// engine, so one reusable slice replaces a per-call allocation on the
-	// interception hot path.
+	// currently being matched; stash parks the winning candidate's
+	// pending bindings while lower-priority table order is still being
+	// ruled out (indexed strategy). Classification is strictly sequential
+	// per engine, so two reusable slices replace per-call allocations on
+	// the interception hot path.
 	scratch []binding
+	stash   []binding
 }
 
 // binding is a variable binding pending commit until the whole filter
-// matches.
+// matches and wins.
 type binding struct {
 	v   VarID
 	val []byte
 }
 
 // NewClassifier builds a classifier over the program's filter table. The
-// ethertype index is built lazily on the first indexed classification, so
-// the default (linear, the paper's strategy and the faster one at
-// testbed-typical table sizes — see docs/PERFORMANCE.md) pays nothing
-// for the ablation it does not use.
+// ethertype index and the (local) dispatch tree build lazily on first use
+// of their strategies, so the default pays nothing for ablations it does
+// not use.
 func NewClassifier(p *Program) *Classifier {
 	return &Classifier{
 		filters: p.Filters,
 		vars:    make([][]byte, len(p.Vars)),
 	}
 }
+
+// UseDispatch adopts a pre-built (shared, immutable) dispatch tree.
+func (c *Classifier) UseDispatch(d *Dispatch) { c.dispatch = d }
 
 // buildIndex populates the ethertype buckets for the indexed strategy.
 func (c *Classifier) buildIndex() {
@@ -81,7 +166,7 @@ func (c *Classifier) buildIndex() {
 }
 
 // Reset clears all run-time state — variable bindings and work counters —
-// so the classifier (and its lazily built index) can be reused for a
+// so the classifier (and its lazily built structures) can be reused for a
 // fresh run over the same filter table.
 func (c *Classifier) Reset() {
 	for i := range c.vars {
@@ -89,7 +174,9 @@ func (c *Classifier) Reset() {
 	}
 	c.TuplesCompared = 0
 	c.FiltersScanned = 0
+	c.NodeTests = 0
 	c.scratch = c.scratch[:0]
+	c.stash = c.stash[:0]
 }
 
 // VarBinding returns the current binding of a variable (nil if unbound).
@@ -102,14 +189,19 @@ func (c *Classifier) VarBinding(v VarID) []byte {
 
 // Classify returns the first matching filter, or -1. Variable tuples
 // match unconditionally while unbound and bind (engine-locally) when the
-// whole filter matches; once bound they require byte equality.
+// whole filter matches AND wins first-match priority; once bound they
+// require byte equality.
 func (c *Classifier) Classify(fr *ether.Frame) FilterID {
-	if c.Indexed {
+	switch c.Strategy {
+	case StrategyIndexed:
 		return c.classifyIndexed(fr)
+	case StrategyCompiled:
+		return c.classifyCompiled(fr)
 	}
 	for i := range c.filters {
 		c.FiltersScanned++
-		if c.matchFilter(i, fr) {
+		if c.match(i, fr) {
+			c.commit()
 			return FilterID(i)
 		}
 	}
@@ -124,27 +216,72 @@ func (c *Classifier) classifyIndexed(fr *ether.Frame) FilterID {
 	best := -1
 	for _, i := range c.buckets[et] {
 		c.FiltersScanned++
-		if c.matchFilter(i, fr) {
+		if c.match(i, fr) {
 			best = i
+			c.stashPending()
 			break
 		}
 	}
+	// A lower-index unbucketed filter may still outrank the bucket match;
+	// its bindings must not see (and must override) the loser's, so the
+	// bucket winner's bindings sit in the stash, uncommitted, until the
+	// scan settles.
 	for _, i := range c.anyBucket {
 		if best >= 0 && i > best {
 			break
 		}
 		c.FiltersScanned++
-		if c.matchFilter(i, fr) && (best < 0 || i < best) {
+		if c.match(i, fr) {
 			best = i
+			c.stashPending()
 			break
 		}
+	}
+	if best >= 0 {
+		c.commitStash()
 	}
 	return FilterID(best)
 }
 
-// matchFilter applies all tuples of filter i; on success it commits any
-// new variable bindings.
-func (c *Classifier) matchFilter(i int, fr *ether.Frame) bool {
+func (c *Classifier) classifyCompiled(fr *ether.Frame) FilterID {
+	if c.dispatch == nil {
+		c.dispatch = BuildDispatch(c.filters)
+	}
+	d := c.dispatch
+	if len(d.nodes) == 0 {
+		return -1
+	}
+	ni := int32(0)
+	for {
+		n := &d.nodes[ni]
+		if n.length == 0 {
+			for _, i := range n.candidates {
+				c.FiltersScanned++
+				if c.match(int(i), fr) {
+					c.commit()
+					return FilterID(i)
+				}
+			}
+			return -1
+		}
+		c.NodeTests++
+		next := n.miss
+		if end := n.off + n.length; end <= len(fr.Data) {
+			if ch, ok := n.edges[packField(fr.Data[n.off:end])]; ok {
+				next = ch
+			}
+		}
+		if next < 0 {
+			return -1
+		}
+		ni = next
+	}
+}
+
+// match applies all tuples of filter i, staging any new variable bindings
+// in c.scratch without committing them. The caller commits the winner's
+// via commit (or parks them with stashPending while the scan continues).
+func (c *Classifier) match(i int, fr *ether.Frame) bool {
 	f := &c.filters[i]
 	pending := c.scratch[:0]
 	for ti := range f.Tuples {
@@ -177,11 +314,31 @@ func (c *Classifier) matchFilter(i int, fr *ether.Frame) bool {
 			return false
 		}
 	}
-	for _, b := range pending {
-		c.vars[b.v] = b.val
-	}
 	c.scratch = pending
 	return true
+}
+
+// commit installs the staged bindings of the filter match just returned
+// by match.
+func (c *Classifier) commit() {
+	for _, b := range c.scratch {
+		c.vars[b.v] = b.val
+	}
+	c.scratch = c.scratch[:0]
+}
+
+// stashPending parks the current staged bindings as the best candidate so
+// far, replacing any earlier stash (a lower-priority match that lost).
+func (c *Classifier) stashPending() {
+	c.scratch, c.stash = c.stash[:0], c.scratch
+}
+
+// commitStash installs the stashed winner's bindings.
+func (c *Classifier) commitStash() {
+	for _, b := range c.stash {
+		c.vars[b.v] = b.val
+	}
+	c.stash = c.stash[:0]
 }
 
 func bytesEqualMasked(got, want, mask []byte) bool {

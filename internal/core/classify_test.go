@@ -144,7 +144,7 @@ func TestIndexedClassifierEquivalence(t *testing.T) {
 
 		lin := NewClassifier(fig2Program())
 		idx := NewClassifier(fig2Program())
-		idx.Indexed = true
+		idx.Strategy = StrategyIndexed
 		return lin.Classify(fr) == idx.Classify(fr)
 	}
 	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(31))}
@@ -179,18 +179,22 @@ func TestClassifierPayloadInsensitive(t *testing.T) {
 }
 
 func BenchmarkClassifierLinear(b *testing.B) {
-	benchClassifier(b, false)
+	benchClassifier(b, StrategyLinear)
 }
 
 func BenchmarkClassifierIndexed(b *testing.B) {
-	benchClassifier(b, true)
+	benchClassifier(b, StrategyIndexed)
 }
 
-func benchClassifier(b *testing.B, indexed bool) {
+func BenchmarkClassifierCompiled(b *testing.B) {
+	benchClassifier(b, StrategyCompiled)
+}
+
+func benchClassifier(b *testing.B, strategy Strategy) {
 	p := fig2Program()
 	p.Filters = p.Filters[2:] // drop variable filters for steady state
 	c := NewClassifier(p)
-	c.Indexed = indexed
+	c.Strategy = strategy
 	fr := tcpFrame(0x4000, 0x6000, 9, 9, packet.TCPAck)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -143,8 +143,14 @@ type Engine struct {
 	Cost CostModel
 	// Stats accumulates counters.
 	Stats EngineStats
-	// UseIndexedClassifier selects the ablation classifier.
+	// UseIndexedClassifier selects the ablation classifier when
+	// ClassifyStrategy is StrategyDefault (legacy knob).
 	UseIndexedClassifier bool
+	// ClassifyStrategy selects the classifier search strategy
+	// (default/linear/indexed/compiled/auto); Default defers to
+	// UseIndexedClassifier. Resolved against the loaded program's table
+	// size at load time.
+	ClassifyStrategy Strategy
 
 	controller *Controller
 	faultLog   []FaultEvent
@@ -242,8 +248,9 @@ func (e *Engine) LoadLocal(p *Program, self, controlNode NodeID) {
 }
 
 func (e *Engine) load(p *Program, self, controlNode NodeID) {
+	strategy := e.ClassifyStrategy.Resolve(e.UseIndexedClassifier, len(p.Filters))
 	if e.prog == p && e.self == self && e.controlNode == controlNode &&
-		e.classifier != nil && e.classifier.Indexed == e.UseIndexedClassifier {
+		e.classifier != nil && e.classifier.Strategy == strategy {
 		// Same tables, same identity (a reused testbed re-running the
 		// scenario): rewind the execution state in place instead of
 		// reallocating every table-sized slice and map.
@@ -271,7 +278,12 @@ func (e *Engine) load(p *Program, self, controlNode NodeID) {
 	e.self = self
 	e.controlNode = controlNode
 	e.classifier = NewClassifier(p)
-	e.classifier.Indexed = e.UseIndexedClassifier
+	e.classifier.Strategy = strategy
+	if strategy == StrategyCompiled {
+		// Adopt the program's shared immutable tree (built once per
+		// Program) instead of compiling a private copy per engine.
+		e.classifier.UseDispatch(p.CompiledDispatch())
+	}
 	e.macToNode = make(map[packet.MAC]NodeID, len(p.Nodes))
 	for i, n := range p.Nodes {
 		e.macToNode[n.MAC] = NodeID(i)
@@ -426,7 +438,7 @@ func (e *Engine) inject(fr *ether.Frame, dir Direction) {
 // one-shot faults.
 func (e *Engine) process(fr *ether.Frame, dir Direction) (consumed bool, cost time.Duration, dup bool) {
 	e.Stats.PacketsIntercepted++
-	tuplesBefore := e.classifier.TuplesCompared
+	tuplesBefore := e.classifier.TuplesCompared + e.classifier.NodeTests
 	updatesBefore := e.Stats.CounterUpdates
 	actionsBefore := e.Stats.ActionsFired
 
@@ -486,8 +498,11 @@ func (e *Engine) process(fr *ether.Frame, dir Direction) (consumed bool, cost ti
 	}
 
 	if e.Cost.enabled() {
+		// Dispatch-tree field probes are comparisons too: charging them
+		// at PerTuple keeps the cost model honest across strategies (and
+		// is what flattens the Figure 8 curve rather than zeroing it).
 		cost = e.Cost.Base +
-			time.Duration(e.classifier.TuplesCompared-tuplesBefore)*e.Cost.PerTuple +
+			time.Duration(e.classifier.TuplesCompared+e.classifier.NodeTests-tuplesBefore)*e.Cost.PerTuple +
 			time.Duration(e.Stats.CounterUpdates-updatesBefore)*e.Cost.PerCounterUpdate +
 			time.Duration(e.Stats.ActionsFired-actionsBefore)*e.Cost.PerAction
 	}

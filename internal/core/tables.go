@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"virtualwire/internal/packet"
@@ -364,6 +365,22 @@ type Program struct {
 	Terms    []TermEntry
 	Conds    []ConditionEntry
 	Actions  []ActionEntry
+
+	// dispatch caches the compiled filter dispatch tree (dispatch.go),
+	// built at most once per Program and shared read-only by every engine
+	// that adopts the program. Unexported, so the gob INIT encoding is
+	// unaffected; Programs are handled strictly by pointer.
+	dispatchOnce sync.Once
+	dispatch     *Dispatch
+}
+
+// CompiledDispatch returns the program's compiled filter dispatch tree,
+// building it on first use. The tree is immutable and safe to share
+// across engines and goroutines; CompileScript calls this eagerly so
+// campaign workers adopting a shared program never build it twice.
+func (p *Program) CompiledDispatch() *Dispatch {
+	p.dispatchOnce.Do(func() { p.dispatch = BuildDispatch(p.Filters) })
+	return p.dispatch
 }
 
 // NodeByName resolves a node name.

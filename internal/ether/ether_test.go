@@ -453,3 +453,81 @@ func TestNICFrameIDAssignment(t *testing.T) {
 		t.Error("pre-assigned frame ID overwritten")
 	}
 }
+
+func TestSwitchTrunkLearningAcrossFabric(t *testing.T) {
+	// Two switches joined by a trunk: unicast reaches a host behind the
+	// remote switch, and after learning, traffic stops flooding.
+	s := sim.NewScheduler(1)
+	swA := NewSwitch(s, SwitchConfig{ID: 0})
+	swB := NewSwitch(s, SwitchConfig{ID: 1})
+	ConnectTrunk(swA, swB, LinkConfig{})
+	a, b := NewNIC(s, mac(1), 0), NewNIC(s, mac(2), 0)
+	bystander := NewNIC(s, mac(3), 0)
+	bystander.Promiscuous = true
+	swA.AttachHost(a)
+	swB.AttachHost(b)
+	swB.AttachHost(bystander)
+	gotA, gotB, gotBy := 0, 0, 0
+	a.SetRecv(func(*Frame) { gotA++ })
+	b.SetRecv(func(*Frame) { gotB++ })
+	bystander.SetRecv(func(*Frame) { gotBy++ })
+
+	a.Send(testFrame(mac(1), mac(2), 200)) // unknown: floods across the trunk
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gotB != 1 || gotBy != 1 {
+		t.Fatalf("flood across trunk: b=%d bystander=%d", gotB, gotBy)
+	}
+	b.Send(testFrame(mac(2), mac(1), 200)) // teaches both switches mac(2)
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gotA != 1 {
+		t.Fatalf("reply not delivered: a=%d", gotA)
+	}
+	a.Send(testFrame(mac(1), mac(2), 200)) // unicast end to end now
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if gotB != 2 {
+		t.Fatalf("unicast across trunk: b=%d", gotB)
+	}
+	if gotBy != 1 {
+		t.Errorf("bystander saw post-learning unicast: %d", gotBy)
+	}
+}
+
+func TestSwitchBlockedTrunkBreaksLoop(t *testing.T) {
+	// Three switches wired in a ring. With one trunk blocked on both
+	// ends, a broadcast visits every host exactly once instead of
+	// storming forever.
+	s := sim.NewScheduler(1)
+	sws := make([]*Switch, 3)
+	for i := range sws {
+		sws[i] = NewSwitch(s, SwitchConfig{ID: i})
+	}
+	ConnectTrunk(sws[0], sws[1], LinkConfig{})
+	ConnectTrunk(sws[1], sws[2], LinkConfig{})
+	p2, p0 := ConnectTrunk(sws[2], sws[0], LinkConfig{})
+	sws[2].SetPortBlocked(p2, true)
+	sws[0].SetPortBlocked(p0, true)
+
+	got := make([]int, 3)
+	for i := range sws {
+		n := NewNIC(s, mac(byte(10+i)), 0)
+		sws[i].AttachHost(n)
+		i := i
+		n.Promiscuous = true
+		n.SetRecv(func(*Frame) { got[i]++ })
+		if i == 0 {
+			n.Send(testFrame(mac(10), packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, 100))
+		}
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("broadcast deliveries: %v, want exactly one each", got)
+	}
+}

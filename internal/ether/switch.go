@@ -30,6 +30,10 @@ type SwitchConfig struct {
 	// Pool, when non-nil, recycles frames across the switch and all its
 	// port segments (see BusConfig.Pool).
 	Pool *FramePool
+	// ID distinguishes switches in a multi-switch fabric; it is baked
+	// into port MAC addresses so every port NIC in a 1000-node testbed
+	// stays unique. Single-switch testbeds can leave it zero.
+	ID int
 }
 
 func (c *SwitchConfig) fill() {
@@ -50,6 +54,12 @@ func (c *SwitchConfig) fill() {
 type switchPort struct {
 	segment Medium
 	nic     *NIC // the switch's own NIC on this segment
+	// trunk marks an inter-switch port (ConnectTrunk).
+	trunk bool
+	// blocked removes the port from forwarding (spanning-tree style):
+	// ingress frames are discarded and floods skip it. Blocking is
+	// topology state, not run state — Reset preserves it.
+	blocked bool
 }
 
 // Switch is a learning, store-and-forward Ethernet switch. Each attached
@@ -67,6 +77,8 @@ type Switch struct {
 	FloodedFrames uint64
 	// ForwardedFrames counts all frames forwarded by the switch.
 	ForwardedFrames uint64
+	// BlockedFrames counts frames discarded on blocked ports.
+	BlockedFrames uint64
 }
 
 // NewSwitch returns an empty switch; attach hosts with AttachHost.
@@ -78,11 +90,6 @@ func NewSwitch(sched *sim.Scheduler, cfg SwitchConfig) *Switch {
 // AttachHost connects a host NIC to a new switch port and returns the
 // port index.
 func (sw *Switch) AttachHost(host *NIC) int {
-	idx := len(sw.ports)
-	sw.nextID++
-	portMAC := packet.MAC{0x02, 0x53, 0x57, 0x00, 0x00, byte(sw.nextID)}
-	pn := NewNIC(sw.sched, portMAC, sw.cfg.QueueFrames)
-	pn.Promiscuous = true
 	var seg Medium
 	if sw.cfg.FullDuplex {
 		seg = NewLink(sw.sched, LinkConfig{
@@ -100,11 +107,49 @@ func (sw *Switch) AttachHost(host *NIC) int {
 		})
 	}
 	seg.Attach(host)
+	return sw.addPort(seg, false)
+}
+
+// addPort creates the switch-side NIC on a segment and registers it as a
+// port.
+func (sw *Switch) addPort(seg Medium, trunk bool) int {
+	idx := len(sw.ports)
+	sw.nextID++
+	// 0x02:0x53:0x57 (locally administered "SW") + switch ID + 16-bit
+	// port counter: unique across a 1000-node multi-switch fabric. Port
+	// NICs never source frames, but unique identities keep debugging and
+	// pcap traces honest.
+	portMAC := packet.MAC{0x02, 0x53, 0x57, byte(sw.cfg.ID), byte(sw.nextID >> 8), byte(sw.nextID)}
+	pn := NewNIC(sw.sched, portMAC, sw.cfg.QueueFrames)
+	pn.Promiscuous = true
 	seg.Attach(pn)
-	port := &switchPort{segment: seg, nic: pn}
+	port := &switchPort{segment: seg, nic: pn, trunk: trunk}
 	pn.SetRecv(func(fr *Frame) { sw.ingress(idx, fr) })
 	sw.ports = append(sw.ports, port)
 	return idx
+}
+
+// ConnectTrunk joins two switches with a dedicated full-duplex link and
+// returns the new port index on each. MAC learning extends across trunks
+// naturally: a frame arriving on a trunk port teaches the switch that its
+// source lives behind that trunk. Fabrics with redundant trunks (rings,
+// fat-trees) must block the non-tree links on both ends — see
+// SetPortBlocked — or floods will storm.
+func ConnectTrunk(a, b *Switch, cfg LinkConfig) (aPort, bPort int) {
+	if cfg.Pool == nil {
+		cfg.Pool = a.cfg.Pool
+	}
+	link := NewLink(a.sched, cfg)
+	aPort = a.addPort(link, true)
+	bPort = b.addPort(link, true)
+	return aPort, bPort
+}
+
+// SetPortBlocked marks a port blocked (spanning-tree style): ingress
+// frames are discarded and forwarding skips it. Blocking is part of the
+// wiring and survives Reset.
+func (sw *Switch) SetPortBlocked(idx int, blocked bool) {
+	sw.ports[idx].blocked = blocked
 }
 
 // ingress handles a frame received on port idx after full reassembly.
@@ -113,13 +158,20 @@ func (sw *Switch) AttachHost(host *NIC) int {
 // hands it onward without a copy, a flood clones per output port, and
 // whatever is left is recycled.
 func (sw *Switch) ingress(idx int, fr *Frame) {
+	if sw.ports[idx].blocked {
+		// Spanning-tree discard: nothing is learned or forwarded from a
+		// blocked port.
+		sw.BlockedFrames++
+		sw.cfg.Pool.Put(fr)
+		return
+	}
 	src := fr.Src()
 	sw.table[src] = idx
 	dst := fr.Dst()
 	out, known := sw.table[dst]
 	sw.sched.After(sw.cfg.Latency, "switch.forward", func() {
 		if known && !dst.IsBroadcast() {
-			if out != idx {
+			if out != idx && !sw.ports[out].blocked {
 				sw.ForwardedFrames++
 				sw.ports[out].nic.Send(fr)
 				return
@@ -129,7 +181,7 @@ func (sw *Switch) ingress(idx int, fr *Frame) {
 		}
 		sw.FloodedFrames++
 		for i, p := range sw.ports {
-			if i == idx {
+			if i == idx || p.blocked {
 				continue
 			}
 			sw.ForwardedFrames++
@@ -150,6 +202,7 @@ func (sw *Switch) Reset() {
 	}
 	sw.FloodedFrames = 0
 	sw.ForwardedFrames = 0
+	sw.BlockedFrames = 0
 	for _, p := range sw.ports {
 		p.nic.Reset()
 		switch seg := p.segment.(type) {
@@ -187,6 +240,20 @@ func (sw *Switch) Snapshot() metrics.Snapshot {
 	sn.Counter("port_queue_drops", drops)
 	sn.Gauge("port_queued_frames", float64(queued))
 	sn.Gauge("ports", float64(len(sw.ports)))
+	var trunks, blocked int
+	for _, p := range sw.ports {
+		if p.trunk {
+			trunks++
+		}
+		if p.blocked {
+			blocked++
+		}
+	}
+	if trunks > 0 || blocked > 0 {
+		sn.Counter("blocked_frames", sw.BlockedFrames)
+		sn.Gauge("trunk_ports", float64(trunks))
+		sn.Gauge("blocked_ports", float64(blocked))
+	}
 	now := sw.sched.Now().Seconds()
 	if now > 0 && len(sw.ports) > 0 {
 		busy := float64(txBytes*8) / sw.cfg.BitsPerSecond

@@ -237,6 +237,12 @@ func (tb *Testbed) registerMetricSources() {
 	if tb.sw != nil {
 		tb.reg.RegisterSource(MetricsNode, "switch", tb.sw.Snapshot)
 	}
+	if len(tb.fabric) > 0 {
+		// The fabric registers as one aggregate source: per-switch sources
+		// at fat-tree scale (hundreds of switches) would swamp every
+		// gather and RunReport with keys nobody compares.
+		tb.reg.RegisterSource(MetricsNode, "fabric", tb.fabricSnapshot)
+	}
 	if tb.bus != nil {
 		tb.reg.RegisterSource(MetricsNode, "bus", tb.bus.Snapshot)
 	}

@@ -58,7 +58,7 @@ trap 'rm -f "$RAW"' EXIT
     run_bench ./internal/sim 'BenchmarkScheduler'
     run_bench ./internal/core 'BenchmarkClassifier'
     run_bench ./internal/ether 'BenchmarkBusForwarding'
-    run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario'
+    run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario|BenchmarkTopology'
 } > "$RAW"
 emit_json "$RAW" BENCH_core.json
 

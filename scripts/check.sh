@@ -48,6 +48,43 @@ if [ "$ALLOCS" -gt "$ALLOC_LIMIT" ]; then
 fi
 echo "campaign allocations: $ALLOCS allocs/op (limit $ALLOC_LIMIT)"
 
+echo "== compiled dispatch flatness gate =="
+# The compiled classifier's selling point is flat per-packet cost in the
+# filter count: classifying against 512 filters must cost no more than
+# 2x classifying against 8. (Linear is ~60x at this spread.) Guards the
+# dispatch tree from quietly degenerating into a residual linear scan.
+SWEEP="$(go test -run '^$' -bench 'BenchmarkClassifierSize/compiled' -benchtime 0.2s ./internal/core)"
+echo "$SWEEP" | grep '^Benchmark' || true
+N8="$(echo "$SWEEP" | awk '/compiled\/n8-/ || /compiled\/n8 / { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i - 1) }')"
+N512="$(echo "$SWEEP" | awk '/compiled\/n512/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i - 1) }')"
+if [ -z "$N8" ] || [ -z "$N512" ]; then
+    echo "dispatch flatness gate: failed to measure compiled n8/n512 ns/op" >&2
+    exit 1
+fi
+if ! awk -v a="$N512" -v b="$N8" 'BEGIN { exit !(a <= 2.0 * b) }'; then
+    echo "compiled dispatch no longer flat: n512 = $N512 ns/op vs n8 = $N8 ns/op (limit 2x)" >&2
+    exit 1
+fi
+echo "compiled dispatch flat: n8 = $N8 ns/op, n512 = $N512 ns/op"
+
+echo "== 1000-node topology reset gate =="
+# Campaigns at 1000-node scale rewind the built fabric between runs;
+# the reset path is allocation-free today (0 allocs/op). The ceiling
+# catches a change that quietly rebuilds switches, ARP tables or layer
+# chains per run.
+TOPO_ALLOC_LIMIT=4096
+TOPO_ALLOCS="$(go test -run '^$' -bench 'BenchmarkTopologyReset1000$' -benchmem -benchtime 3x . \
+    | awk '/^BenchmarkTopologyReset1000/ { for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") print $(i - 1) }')"
+if [ -z "$TOPO_ALLOCS" ]; then
+    echo "topology reset gate: failed to measure allocs/op" >&2
+    exit 1
+fi
+if [ "$TOPO_ALLOCS" -gt "$TOPO_ALLOC_LIMIT" ]; then
+    echo "1000-node reset allocations regressed: $TOPO_ALLOCS allocs/op (limit $TOPO_ALLOC_LIMIT)" >&2
+    exit 1
+fi
+echo "1000-node reset allocations: $TOPO_ALLOCS allocs/op (limit $TOPO_ALLOC_LIMIT)"
+
 echo "== bench smoke (one iteration) =="
 # Each benchmark runs exactly once: catches benchmarks that no longer
 # compile or crash, without paying measurement time. Full measurements

@@ -1,0 +1,364 @@
+package virtualwire
+
+// Multi-switch topology generators: star, ring, fat-tree and random
+// fabrics of learning switches joined by full-duplex trunk links, scaling
+// a single testbed to hundreds-to-~1000 hosts. Redundant trunks (ring
+// backlinks, fat-tree multipath) are disabled by a deterministic static
+// spanning tree — BFS from switch 0 in wiring order — blocked on both
+// ends, so MAC learning and flooding stay loop-free. See
+// docs/TOPOLOGIES.md.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"virtualwire/internal/ether"
+	"virtualwire/internal/packet"
+)
+
+// TopologyKind selects a fabric generator.
+type TopologyKind int
+
+// Topology kinds.
+const (
+	// TopoSingle is the default single switch (Config.Topology == nil
+	// behaves identically).
+	TopoSingle TopologyKind = iota
+	// TopoStar wires N edge switches to one core switch.
+	TopoStar
+	// TopoRing joins N switches in a cycle; the spanning tree blocks one
+	// trunk.
+	TopoRing
+	// TopoFatTree builds the k-ary fat-tree (k/2)^2 cores / k pods of
+	// k/2+k/2 agg+edge switches; k=16 reaches 1024 hosts.
+	TopoFatTree
+	// TopoRandom grows a random spanning tree over N switches plus
+	// ExtraTrunks redundant links, seeded by WiringSeed.
+	TopoRandom
+)
+
+// String names the kind as campaign specs spell it.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoSingle:
+		return "single"
+	case TopoStar:
+		return "star"
+	case TopoRing:
+		return "ring"
+	case TopoFatTree:
+		return "fattree"
+	case TopoRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// ParseTopologyKind resolves a kind name ("single", "star", "ring",
+// "fattree", "random").
+func ParseTopologyKind(s string) (TopologyKind, error) {
+	switch s {
+	case "", "single":
+		return TopoSingle, nil
+	case "star":
+		return TopoStar, nil
+	case "ring":
+		return TopoRing, nil
+	case "fattree", "fat-tree":
+		return TopoFatTree, nil
+	case "random":
+		return TopoRandom, nil
+	}
+	return TopoSingle, fmt.Errorf("virtualwire: unknown topology kind %q", s)
+}
+
+// TopologySpec describes a multi-switch fabric. The wiring is a pure
+// function of the spec and the host count — never of Config.Seed — so a
+// reset testbed re-runs over identical wiring and a fresh testbed with
+// the same spec reproduces it exactly.
+type TopologySpec struct {
+	// Kind selects the generator; TopoSingle (the zero value) keeps the
+	// classic single switch.
+	Kind TopologyKind
+	// Switches sizes star (edge switches), ring and random fabrics;
+	// 0 auto-sizes to about one edge switch per 48 hosts.
+	Switches int
+	// FatTreeK is the fat-tree arity (even, >= 4); 0 picks the smallest
+	// k whose k^3/4 host capacity fits the testbed.
+	FatTreeK int
+	// ExtraTrunks adds redundant (spanning-tree-blocked) trunks to
+	// random fabrics.
+	ExtraTrunks int
+	// TrunkBitsPerSecond is the inter-switch link bandwidth (default
+	// 10x the host link rate).
+	TrunkBitsPerSecond float64
+	// WiringSeed drives the random generator's RNG only (default 1). It
+	// is deliberately separate from Config.Seed: run seeds vary per
+	// campaign point, wiring must not.
+	WiringSeed int64
+}
+
+// topologyActive reports whether build() must wire a fabric instead of
+// the single pre-created medium.
+func (tb *Testbed) topologyActive() bool {
+	return tb.cfg.Topology != nil && tb.cfg.Topology.Kind != TopoSingle
+}
+
+// trunkWire is one generated inter-switch link (switch indices).
+type trunkWire struct{ a, b int }
+
+// fabricPlan is a generated wiring: switch count, trunks in wiring
+// order, and the host-bearing (edge) switches.
+type fabricPlan struct {
+	switches int
+	trunks   []trunkWire
+	edges    []int
+}
+
+// planFabric generates the wiring for n hosts.
+func planFabric(spec *TopologySpec, n int) (fabricPlan, error) {
+	autoEdges := func(min int) int {
+		e := (n + 47) / 48
+		if e < min {
+			e = min
+		}
+		return e
+	}
+	switch spec.Kind {
+	case TopoStar:
+		edges := spec.Switches
+		if edges <= 0 {
+			edges = autoEdges(2)
+		}
+		p := fabricPlan{switches: edges + 1}
+		for i := 1; i <= edges; i++ {
+			p.trunks = append(p.trunks, trunkWire{0, i})
+			p.edges = append(p.edges, i)
+		}
+		return p, nil
+	case TopoRing:
+		sw := spec.Switches
+		if sw <= 0 {
+			sw = autoEdges(3)
+		}
+		if sw < 3 {
+			sw = 3
+		}
+		p := fabricPlan{switches: sw}
+		for i := 0; i < sw; i++ {
+			p.trunks = append(p.trunks, trunkWire{i, (i + 1) % sw})
+			p.edges = append(p.edges, i)
+		}
+		return p, nil
+	case TopoFatTree:
+		k := spec.FatTreeK
+		if k <= 0 {
+			for k = 4; k*k*k/4 < n; k += 2 {
+			}
+		}
+		if k < 4 || k%2 != 0 {
+			return fabricPlan{}, fmt.Errorf("virtualwire: fat-tree arity must be even and >= 4 (got %d)", k)
+		}
+		half := k / 2
+		cores := half * half
+		p := fabricPlan{switches: cores + k*(half+half)}
+		// Switch layout: [0,cores) cores, then per pod half aggs followed
+		// by half edges.
+		for pod := 0; pod < k; pod++ {
+			podBase := cores + pod*k
+			for a := 0; a < half; a++ {
+				agg := podBase + a
+				// Each agg uplinks to its column of core switches.
+				for c := 0; c < half; c++ {
+					p.trunks = append(p.trunks, trunkWire{a*half + c, agg})
+				}
+			}
+			for e := 0; e < half; e++ {
+				edge := podBase + half + e
+				for a := 0; a < half; a++ {
+					p.trunks = append(p.trunks, trunkWire{podBase + a, edge})
+				}
+				p.edges = append(p.edges, edge)
+			}
+		}
+		return p, nil
+	case TopoRandom:
+		sw := spec.Switches
+		if sw <= 0 {
+			sw = autoEdges(2)
+		}
+		seed := spec.WiringSeed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		p := fabricPlan{switches: sw}
+		for i := 1; i < sw; i++ {
+			p.trunks = append(p.trunks, trunkWire{rng.Intn(i), i})
+		}
+		for x := 0; x < spec.ExtraTrunks && sw >= 2; x++ {
+			a := rng.Intn(sw)
+			b := rng.Intn(sw - 1)
+			if b >= a {
+				b++
+			}
+			p.trunks = append(p.trunks, trunkWire{a, b})
+		}
+		for i := 0; i < sw; i++ {
+			p.edges = append(p.edges, i)
+		}
+		return p, nil
+	}
+	return fabricPlan{}, fmt.Errorf("virtualwire: topology kind %v has no generator", spec.Kind)
+}
+
+// buildFabric wires the planned fabric and attaches every host: switches
+// in index order, trunks in wiring order, hosts round-robin across the
+// edge switches in addition order. Non-spanning-tree trunks are blocked
+// on both ends. Called once from build(); the wiring then persists across
+// Reset.
+func (tb *Testbed) buildFabric() error {
+	spec := tb.cfg.Topology
+	if len(tb.nodes) == 0 {
+		return fmt.Errorf("virtualwire: topology %v needs hosts before build", spec.Kind)
+	}
+	plan, err := planFabric(spec, len(tb.nodes))
+	if err != nil {
+		return err
+	}
+	hostRate := tb.cfg.BitsPerSecond
+	if hostRate <= 0 {
+		hostRate = 100e6
+	}
+	trunkRate := spec.TrunkBitsPerSecond
+	if trunkRate <= 0 {
+		trunkRate = 10 * hostRate
+	}
+	tb.fabric = make([]*ether.Switch, plan.switches)
+	for i := range tb.fabric {
+		tb.fabric[i] = ether.NewSwitch(tb.sched, ether.SwitchConfig{
+			BitsPerSecond: tb.cfg.BitsPerSecond,
+			Propagation:   tb.cfg.Propagation,
+			BitErrorRate:  tb.cfg.BitErrorRate,
+			FullDuplex:    tb.cfg.Medium == MediumSwitchFullDuplex,
+			Pool:          tb.pool,
+			ID:            i,
+		})
+	}
+	type trunkPorts struct {
+		wire   trunkWire
+		pa, pb int
+	}
+	ports := make([]trunkPorts, len(plan.trunks))
+	adj := make([][]int, plan.switches) // trunk indices per switch
+	for ti, w := range plan.trunks {
+		pa, pb := ether.ConnectTrunk(tb.fabric[w.a], tb.fabric[w.b], ether.LinkConfig{
+			BitsPerSecond: trunkRate,
+			Propagation:   tb.cfg.Propagation,
+			BitErrorRate:  tb.cfg.BitErrorRate,
+			Pool:          tb.pool,
+		})
+		ports[ti] = trunkPorts{w, pa, pb}
+		adj[w.a] = append(adj[w.a], ti)
+		adj[w.b] = append(adj[w.b], ti)
+	}
+	// Static spanning tree: BFS from switch 0 over trunks in wiring
+	// order; every trunk not used for a first discovery is blocked on
+	// both ends.
+	inTree := make([]bool, len(plan.trunks))
+	visited := make([]bool, plan.switches)
+	visited[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, ti := range adj[s] {
+			w := plan.trunks[ti]
+			other := w.a + w.b - s
+			if !visited[other] {
+				visited[other] = true
+				inTree[ti] = true
+				queue = append(queue, other)
+			}
+		}
+	}
+	for i, v := range visited {
+		if !v {
+			return fmt.Errorf("virtualwire: topology %v left switch %d disconnected", spec.Kind, i)
+		}
+	}
+	tb.fabricTrunks = len(plan.trunks)
+	for ti, tp := range ports {
+		if inTree[ti] {
+			continue
+		}
+		tb.fabric[tp.wire.a].SetPortBlocked(tp.pa, true)
+		tb.fabric[tp.wire.b].SetPortBlocked(tp.pb, true)
+		tb.fabricBlocked++
+	}
+	for i, n := range tb.nodes {
+		tb.fabric[plan.edges[i%len(plan.edges)]].AttachHost(n.host.NIC)
+	}
+	return nil
+}
+
+// fabricSnapshot aggregates the fabric's switches into one metrics
+// source ("testbed"/"fabric"): per-switch sources at 320 switches would
+// bloat every RunReport, and fabric-wide totals are what campaigns
+// compare.
+func (tb *Testbed) fabricSnapshot() MetricsSnapshot {
+	var sn MetricsSnapshot
+	var fwd, flood, blockedFr uint64
+	var drops float64
+	for _, sw := range tb.fabric {
+		fwd += sw.ForwardedFrames
+		flood += sw.FloodedFrames
+		blockedFr += sw.BlockedFrames
+		if v, ok := sw.Snapshot().Get("port_queue_drops"); ok {
+			drops += v
+		}
+	}
+	sn.Counter("forwarded_frames", fwd)
+	sn.Counter("flooded_frames", flood)
+	sn.Counter("blocked_frames", blockedFr)
+	sn.Counter("port_queue_drops", uint64(drops))
+	sn.Gauge("switches", float64(len(tb.fabric)))
+	sn.Gauge("trunks", float64(tb.fabricTrunks))
+	sn.Gauge("blocked_trunks", float64(tb.fabricBlocked))
+	return sn
+}
+
+// FabricSwitches reports the number of switches in the built fabric (0
+// for single-switch or bus testbeds, or before build).
+func (tb *Testbed) FabricSwitches() int { return len(tb.fabric) }
+
+// AddHostGroup adds n hosts named <prefix><seq> (four-digit sequence)
+// with deterministic MAC (02:56:57:...) and IP (10.x.y.z) identities
+// derived from a testbed-wide host sequence — the bulk-population API for
+// generated topologies, where hand-writing a 1000-row NODE_TABLE is not
+// an option. Returns the new nodes in addition order.
+func (tb *Testbed) AddHostGroup(prefix string, n int) ([]*Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("virtualwire: host group size %d", n)
+	}
+	if prefix == "" {
+		prefix = "h"
+	}
+	out := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		tb.hostSeq++
+		s := tb.hostSeq
+		if s > 0xFFFFFF {
+			return out, fmt.Errorf("virtualwire: host sequence overflow at %d", s)
+		}
+		name := fmt.Sprintf("%s%04d", prefix, s)
+		mac := packet.MAC{0x02, 0x56, 0x57, byte(s >> 16), byte(s >> 8), byte(s)}
+		ip := packet.IP{10, byte(s >> 16), byte(s >> 8), byte(s)}
+		nd, err := tb.addHost(name, mac, ip)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, nd)
+	}
+	return out, nil
+}

@@ -63,6 +63,45 @@ type (
 // RunReport.Text (the structured replacement for Summary) or marshal it
 // with RunReport.WriteJSON.
 
+// ClassifierStrategy selects the per-engine packet classification
+// algorithm (re-export of core.Strategy).
+type ClassifierStrategy = core.Strategy
+
+// Classifier strategies.
+const (
+	// ClassifierDefault keeps the historical behavior: linear scan
+	// unless Config.IndexedClassifier is set.
+	ClassifierDefault = core.StrategyDefault
+	// ClassifierLinear forces the paper's linear first-match scan.
+	ClassifierLinear = core.StrategyLinear
+	// ClassifierIndexed forces the ethertype-indexed ablation.
+	ClassifierIndexed = core.StrategyIndexed
+	// ClassifierCompiled installs the dispatch tree compiled once per
+	// program (CompileScript) and shared across all engines.
+	ClassifierCompiled = core.StrategyCompiled
+	// ClassifierAuto picks compiled for tables of
+	// core.AutoCompileThreshold+ filters, linear below.
+	ClassifierAuto = core.StrategyAuto
+)
+
+// ParseClassifierStrategy resolves a strategy name ("", "default",
+// "linear", "indexed", "compiled", "auto").
+func ParseClassifierStrategy(s string) (ClassifierStrategy, error) {
+	switch s {
+	case "", "default":
+		return ClassifierDefault, nil
+	case "linear":
+		return ClassifierLinear, nil
+	case "indexed":
+		return ClassifierIndexed, nil
+	case "compiled":
+		return ClassifierCompiled, nil
+	case "auto":
+		return ClassifierAuto, nil
+	}
+	return ClassifierDefault, fmt.Errorf("virtualwire: unknown classifier strategy %q", s)
+}
+
 // MediumKind selects the testbed wiring.
 type MediumKind int
 
@@ -98,6 +137,15 @@ type Config struct {
 	// IndexedClassifier enables the ethertype-indexed classifier
 	// ablation instead of the paper's linear scan.
 	IndexedClassifier bool
+	// Classifier selects the classification strategy explicitly
+	// (overrides IndexedClassifier when non-default); ClassifierCompiled
+	// installs the dispatch tree compiled once per script.
+	Classifier ClassifierStrategy
+	// Topology, when non-nil with a Kind other than TopoSingle, replaces
+	// the single switch with a generated multi-switch fabric (star,
+	// ring, fat-tree, random) joined by trunk links — the 1000-node
+	// scale substrate. Requires a switch Medium. See docs/TOPOLOGIES.md.
+	Topology *TopologySpec
 	// TraceCapacity, when positive, records a tcpdump-like trace of up
 	// to this many frames (tap directly above each NIC).
 	TraceCapacity int
@@ -244,6 +292,13 @@ type Testbed struct {
 	nodes  []*Node
 	byName map[string]*Node
 
+	// fabric is the generated multi-switch topology (empty for the
+	// classic single switch / bus); wired once by build, kept by Reset.
+	fabric        []*ether.Switch
+	fabricTrunks  int
+	fabricBlocked int
+	hostSeq       int // AddHostGroup identity sequence
+
 	prog     *core.Program
 	compiled *CompiledScript // non-nil when prog came from LoadCompiled
 	ctl      *core.Controller
@@ -283,6 +338,11 @@ func New(cfg Config) (*Testbed, error) {
 	}
 	switch cfg.Medium {
 	case MediumSwitch, MediumSwitchFullDuplex:
+		if tb.topologyActive() {
+			// The fabric's switches are created in build(), once the host
+			// count (which sizes auto topologies) is known.
+			break
+		}
 		tb.sw = ether.NewSwitch(tb.sched, ether.SwitchConfig{
 			BitsPerSecond: cfg.BitsPerSecond,
 			Propagation:   cfg.Propagation,
@@ -291,6 +351,9 @@ func New(cfg Config) (*Testbed, error) {
 			Pool:          tb.pool,
 		})
 	case MediumBus:
+		if tb.topologyActive() {
+			return nil, fmt.Errorf("virtualwire: topology %v requires a switch medium", cfg.Topology.Kind)
+		}
 		tb.bus = ether.NewSharedBus(tb.sched, ether.BusConfig{
 			BitsPerSecond: cfg.BitsPerSecond,
 			Propagation:   cfg.Propagation,
@@ -335,9 +398,13 @@ func (tb *Testbed) addHost(name string, m packet.MAC, addr packet.IP) (*Node, er
 		return nil, fmt.Errorf("virtualwire: host %q already added", name)
 	}
 	h := stack.NewHost(tb.sched, name, m, addr)
-	if tb.sw != nil {
+	switch {
+	case tb.topologyActive():
+		// Attachment is deferred to buildFabric, which round-robins hosts
+		// across the fabric's edge switches once their count is known.
+	case tb.sw != nil:
 		tb.sw.AttachHost(h.NIC)
-	} else {
+	default:
 		tb.bus.Attach(h.NIC)
 	}
 	n := &Node{
@@ -348,6 +415,7 @@ func (tb *Testbed) addHost(name string, m packet.MAC, addr packet.IP) (*Node, er
 	}
 	n.engine.Cost = tb.cfg.Cost
 	n.engine.UseIndexedClassifier = tb.cfg.IndexedClassifier
+	n.engine.ClassifyStrategy = tb.cfg.Classifier
 	if tb.cfg.RLL {
 		n.rll = rll.New(tb.sched, m, rll.Config{Window: tb.cfg.RLLWindow})
 		n.rll.SetPool(tb.pool)
@@ -455,6 +523,11 @@ func (tb *Testbed) build() error {
 		return nil
 	}
 	tb.built = true
+	if tb.topologyActive() {
+		if err := tb.buildFabric(); err != nil {
+			return err
+		}
+	}
 	inRing := make(map[string]bool, len(tb.retherRing))
 	var ringMACs []packet.MAC
 	for _, name := range tb.retherRing {
