@@ -324,6 +324,65 @@ func BenchmarkTopologyReset1000(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedFatTree measures the windowed parallel engine on a
+// 1000-host fat-tree with campus-length trunks (10µs propagation, so
+// the conservative lookahead buys usefully wide windows). The serial
+// sub-benchmark is the same windowed engine at one shard; shards/2 and
+// shards/4 split the fabric across goroutines. Reports are
+// byte-identical at every shard count (TestShardedMatchesSerialAcrossSeeds);
+// this benchmark measures only the wall-clock side of that bargain.
+// scripts/check.sh gates shards/4 at >=1.8x serial on >=4-core machines.
+func BenchmarkShardedFatTree(b *testing.B) {
+	const hosts = 1000
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"serial", 1},
+		{"shards2", 2},
+		{"shards4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			tb, err := virtualwire.New(virtualwire.Config{
+				Seed:   1,
+				Shards: bc.shards,
+				Topology: &virtualwire.TopologySpec{
+					Kind:             virtualwire.TopoFatTree,
+					TrunkPropagation: 10 * time.Microsecond,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tb.AddHostGroup("h", hosts); err != nil {
+				b.Fatal(err)
+			}
+			if err := tb.RunFor(time.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tb.Reset(int64(i + 1)); err != nil {
+					b.Fatal(err)
+				}
+				mf, err := tb.AddManyFlow(virtualwire.ManyFlowConfig{
+					Flows: hosts / 10, Bytes: 4 << 10,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tb.Run(2 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+				if mf.Completed() != mf.Flows() {
+					b.Fatalf("flows completed %d/%d", mf.Completed(), mf.Flows())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRLLWindow sweeps the RLL window size on a lossy wire,
 // reporting delivered goodput — the window/reliability trade-off
 // ablation.

@@ -103,10 +103,24 @@ type Options struct {
 
 // normalize resolves every defaultable option in one place, so the
 // zero value of Options is usable and both executor paths (serial,
-// pooled) agree on the effective settings.
-func (o *Options) normalize(matrixSize int) {
+// pooled) agree on the effective settings. maxShards is the widest
+// per-run shard count in the matrix (1 for legacy runs): when any run
+// shards, the worker pool shrinks so workers x shards stays within
+// GOMAXPROCS — every goroutine in a sharded run computes, so
+// oversubscribing the pool just adds barrier contention. A matrix of
+// purely legacy runs keeps the classic one-worker-per-CPU sizing (the
+// worker count never affects output bytes either way).
+func (o *Options) normalize(matrixSize, maxShards int) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if maxShards > 1 {
+		if budget := runtime.GOMAXPROCS(0) / maxShards; o.Workers > budget {
+			o.Workers = budget
+		}
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
 	}
 	if o.Workers > matrixSize && matrixSize > 0 {
 		o.Workers = matrixSize
@@ -117,6 +131,27 @@ func (o *Options) normalize(matrixSize int) {
 	if o.Window < o.Workers {
 		o.Window = o.Workers
 	}
+}
+
+// maxShards reports the widest shard request across the matrix, for
+// worker budgeting: auto counts as GOMAXPROCS (its upper bound), legacy
+// as 1.
+func maxShards(points []point) int {
+	max := 1
+	for i := range points {
+		s := points[i].cfg.Shards
+		if s == nil {
+			continue
+		}
+		k := *s
+		if k == virtualwire.ShardsAuto {
+			k = runtime.GOMAXPROCS(0)
+		}
+		if k > max {
+			max = k
+		}
+	}
+	return max
 }
 
 // newRunner returns the per-attempt executor for one worker: the test
@@ -143,7 +178,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.normalize(len(points))
+	opts.normalize(len(points), maxShards(points))
 	workers := opts.Workers
 	agg := newAggregator(&spec, len(points))
 	if len(points) == 0 {

@@ -88,6 +88,65 @@ func TestClassifierAxisEquivalence(t *testing.T) {
 	}
 }
 
+// shardAxisSpec is a scriptless fabric campaign whose config label is
+// pinned, so the emitted records carry no trace of the shard count: the
+// JSONL stream and summary must come out byte-identical whichever
+// engine ran them.
+func shardAxisSpec(shards int) Spec {
+	sh := shards
+	return Spec{
+		Name:      "shard-identity",
+		Seed:      11,
+		SeedCount: 3,
+		Hosts:     24,
+		Horizon:   Duration(5 * time.Second),
+		Configs: []ConfigOverride{{
+			Label:    "star4",
+			Shards:   &sh,
+			Topology: &TopologyOverride{Kind: "star", Switches: 4},
+		}},
+		Workloads: []WorkloadSpec{{Kind: "manyflow", Flows: 12, Bytes: 2 << 10}},
+	}
+}
+
+// TestShardAxisIdentity extends the determinism guarantee through the
+// campaign layer: the same matrix produces byte-identical JSONL and
+// summary whether each run executes on the windowed engine at 1, 2 or
+// 4 shards, and regardless of executor worker count.
+func TestShardAxisIdentity(t *testing.T) {
+	spec := shardAxisSpec(1)
+	refSink, refSum := runToBytes(t, spec, 1)
+	if got := bytes.Count(refSink, []byte("\n")); got != spec.Runs() {
+		t.Fatalf("sink lines = %d, want %d", got, spec.Runs())
+	}
+	for _, shards := range []int{2, 4} {
+		gotSink, gotSum := runToBytes(t, shardAxisSpec(shards), 1)
+		if !bytes.Equal(gotSink, refSink) {
+			t.Errorf("JSONL at %d shards differs from 1 shard", shards)
+		}
+		if !bytes.Equal(gotSum, refSum) {
+			t.Errorf("summary at %d shards differs from 1 shard", shards)
+		}
+	}
+	// Sharded runs under a parallel executor: the worker budget shrinks
+	// but the bytes must not move.
+	gotSink, gotSum := runToBytes(t, shardAxisSpec(4), 4)
+	if !bytes.Equal(gotSink, refSink) {
+		t.Error("JSONL from 4 workers x 4 shards differs from serial")
+	}
+	if !bytes.Equal(gotSum, refSum) {
+		t.Error("summary from 4 workers x 4 shards differs from serial")
+	}
+
+	var sum Summary
+	if err := json.Unmarshal(refSum, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Passed != spec.Runs() {
+		t.Fatalf("passed %d/%d", sum.Passed, spec.Runs())
+	}
+}
+
 // Topology/classifier validation fails fast at expand time, before any
 // run starts.
 func TestScaleSpecValidation(t *testing.T) {

@@ -133,6 +133,11 @@ type ConfigOverride struct {
 	// Classifier selects the classification strategy axis value:
 	// "default", "linear", "indexed", "compiled" or "auto".
 	Classifier string `json:"classifier,omitempty"`
+	// Shards selects the sharded windowed engine for this axis value:
+	// 0/nil legacy single-queue, -1 auto, >= 1 explicit shard count (see
+	// virtualwire.Config.Shards). The executor budgets the worker pool so
+	// workers x shards stays within GOMAXPROCS.
+	Shards *int `json:"shards,omitempty"`
 	// Topology replaces the single switch with a generated multi-switch
 	// fabric for this axis value.
 	Topology *TopologyOverride `json:"topology,omitempty"`
@@ -198,6 +203,9 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 			return err
 		}
 		cfg.Classifier = strat
+	}
+	if o.Shards != nil {
+		cfg.Shards = *o.Shards
 	}
 	if o.Topology != nil {
 		kind, err := virtualwire.ParseTopologyKind(o.Topology.Kind)

@@ -21,6 +21,7 @@ import (
 
 	"virtualwire"
 	"virtualwire/internal/experiments"
+	"virtualwire/internal/profiling"
 )
 
 func main() {
@@ -30,7 +31,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	fig := flag.String("fig", "all", "which figure to regenerate: 7, 8 or all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	duration := flag.Duration("duration", 2*time.Second, "fig 7: paced-transmission window per point")
@@ -40,7 +41,19 @@ func run() error {
 	metricsOut := flag.String("metrics-out", "", "write per-sub-run metrics time series to this JSON file")
 	metricsInterval := flag.Duration("metrics-interval", 50*time.Millisecond, "virtual-time sampling interval for -metrics-out")
 	parallel := flag.Int("parallel", 1, "sweep points run concurrently (0 = GOMAXPROCS); results are identical to -parallel 1")
+	var prof profiling.Flags
+	prof.Register()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 
 	workers := *parallel
 	if workers <= 0 {

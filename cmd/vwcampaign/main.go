@@ -32,7 +32,9 @@ import (
 	"syscall"
 	"time"
 
+	"virtualwire"
 	"virtualwire/campaign"
+	"virtualwire/internal/profiling"
 )
 
 func main() {
@@ -46,7 +48,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run() (int, error) {
+func run() (code int, retErr error) {
 	specPath := flag.String("spec", "", "JSON campaign spec file (alternative to the quick flags)")
 	scriptPath := flag.String("script", "", "FSL scenario file for a quick-flag campaign")
 	scenario := flag.String("scenario", "", "scenario name from a multi-scenario script")
@@ -71,7 +73,20 @@ func run() (int, error) {
 	summaryMode := flag.String("summary", "text", "summary format: text, json or none")
 	summaryOut := flag.String("summary-out", "", "write the summary here instead of stdout")
 	progress := flag.Bool("progress", false, "print per-run progress lines to stderr")
+	shardsFlag := flag.String("shards", "", "sharded engine for quick-flag campaigns: a shard count or auto (empty = legacy)")
+	var prof profiling.Flags
+	prof.Register()
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return 1, err
+	}
+	defer func() {
+		if err := stopProf(); err != nil && retErr == nil {
+			code, retErr = 1, err
+		}
+	}()
 
 	var spec campaign.Spec
 	switch {
@@ -181,6 +196,19 @@ func run() (int, error) {
 			}
 			spec.Workloads = append(spec.Workloads, wl)
 		}
+		if *shardsFlag != "" {
+			k, err := parseShards(*shardsFlag)
+			if err != nil {
+				return 1, fmt.Errorf("-shards: %w", err)
+			}
+			if len(spec.Configs) == 0 {
+				spec.Configs = []campaign.ConfigOverride{{Medium: *medium}}
+			}
+			for i := range spec.Configs {
+				sh := k
+				spec.Configs[i].Shards = &sh
+			}
+		}
 	default:
 		flag.Usage()
 		return 1, fmt.Errorf("one of -spec, -script or -hosts is required")
@@ -271,6 +299,21 @@ func parseTCPSpec(s string) (campaign.WorkloadSpec, error) {
 	wl.SrcPort, wl.DstPort = uint16(sport), uint16(dport)
 	wl.Bytes = bytes
 	return wl, nil
+}
+
+// parseShards parses -shards: "auto" or a non-negative shard count.
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return virtualwire.ShardsAuto, nil
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if k < 0 {
+		return 0, fmt.Errorf("want auto or a non-negative count, got %d", k)
+	}
+	return k, nil
 }
 
 // parseTopology parses kind[:switches].

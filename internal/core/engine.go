@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"virtualwire/internal/ether"
@@ -93,6 +94,7 @@ type Engine struct {
 	base  stack.Base
 	sched *sim.Scheduler
 	mac   packet.MAC
+	rng   *rand.Rand // optional pinned fault-randomness source (SetRand)
 
 	prog        *Program
 	self        NodeID
@@ -171,6 +173,25 @@ var _ stack.Layer = (*Engine)(nil)
 // loaded directly via LoadLocal).
 func NewEngine(sched *sim.Scheduler, mac packet.MAC) *Engine {
 	return &Engine{sched: sched, mac: mac, self: -1, controlNode: -1}
+}
+
+// SetScheduler rebinds the engine to another scheduler. The sharded
+// engine uses this before the run starts to move a node onto its
+// shard's event queue; fault timers are created lazily, so a pre-run
+// rebind is safe.
+func (e *Engine) SetScheduler(s *sim.Scheduler) { e.sched = s }
+
+// SetRand pins the random source for probabilistic faults (CORRUPT byte
+// draws). When unset, draws come from the scheduler's shared generator
+// (legacy behavior); the sharded engine derives one generator per
+// engine from (seed, node order) so draws are interleaving-independent.
+func (e *Engine) SetRand(r *rand.Rand) { e.rng = r }
+
+func (e *Engine) rand() *rand.Rand {
+	if e.rng != nil {
+		return e.rng
+	}
+	return e.sched.Rand()
 }
 
 // SetBelow implements stack.Layer.
@@ -829,10 +850,10 @@ func (e *Engine) modify(fr *ether.Frame, a *ActionEntry) {
 	if len(fr.Data) <= packet.EthHeaderLen {
 		return
 	}
-	i := packet.EthHeaderLen + e.sched.Rand().Intn(len(fr.Data)-packet.EthHeaderLen)
+	i := packet.EthHeaderLen + e.rand().Intn(len(fr.Data)-packet.EthHeaderLen)
 	old := fr.Data[i]
 	for fr.Data[i] == old {
-		fr.Data[i] = byte(e.sched.Rand().Intn(256))
+		fr.Data[i] = byte(e.rand().Intn(256))
 	}
 }
 

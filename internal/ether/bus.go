@@ -1,6 +1,7 @@
 package ether
 
 import (
+	"math/rand"
 	"time"
 
 	"virtualwire/internal/metrics"
@@ -73,6 +74,8 @@ type SharedBus struct {
 	// busyTime accumulates the virtual time spent serializing frames
 	// that completed successfully, for the utilization gauge.
 	busyTime time.Duration
+
+	rng *rand.Rand // optional pinned source (see SetRand)
 }
 
 var _ Medium = (*SharedBus)(nil)
@@ -84,6 +87,19 @@ func NewSharedBus(sched *sim.Scheduler, cfg BusConfig) *SharedBus {
 	b := &SharedBus{cfg: cfg, sched: sched}
 	b.releaseFn = b.release
 	return b
+}
+
+// SetRand pins the random source for backoff and bit-error draws. When
+// unset, draws come from the scheduler's shared generator (legacy
+// behavior). The sharded engine pins per-segment generators so draw
+// sequences do not depend on cross-shard event interleaving.
+func (b *SharedBus) SetRand(r *rand.Rand) { b.rng = r }
+
+func (b *SharedBus) rand() *rand.Rand {
+	if b.rng != nil {
+		return b.rng
+	}
+	return b.sched.Rand()
 }
 
 // Attach implements Medium.
@@ -205,7 +221,7 @@ func (b *SharedBus) collide() {
 		if n.backoff > maxBackoffExp {
 			slots = 1 << maxBackoffExp
 		}
-		wait := time.Duration(b.sched.Rand().Intn(slots)) * bitTime(SlotBits, b.cfg.BitsPerSecond)
+		wait := time.Duration(b.rand().Intn(slots)) * bitTime(SlotBits, b.cfg.BitsPerSecond)
 		b.deferRetry(n, jam+wait)
 	}
 	b.scheduleRelease()
@@ -319,7 +335,7 @@ func (b *SharedBus) corrupts(bits int) bool {
 	if p > 1 {
 		p = 1
 	}
-	return b.sched.Rand().Float64() < p
+	return b.rand().Float64() < p
 }
 
 // flipBit flips one random bit past the address fields so that corruption
@@ -331,7 +347,7 @@ func (b *SharedBus) flipBit(fr *Frame) {
 	if len(fr.Data) <= 12 {
 		return
 	}
-	i := 12 + b.sched.Rand().Intn(len(fr.Data)-12)
-	bit := byte(1) << uint(b.sched.Rand().Intn(8))
+	i := 12 + b.rand().Intn(len(fr.Data)-12)
+	bit := byte(1) << uint(b.rand().Intn(8))
 	fr.Data[i] ^= bit
 }

@@ -78,6 +78,11 @@ func (n *NIC) SetRecv(fn func(*Frame)) { n.recv = fn }
 // Scheduler returns the simulation scheduler the NIC runs on.
 func (n *NIC) Scheduler() *sim.Scheduler { return n.sched }
 
+// SetScheduler rebinds the NIC to another scheduler. The sharded engine
+// uses this before any traffic flows to move a host's NIC onto its
+// shard's event queue; rebinding mid-run would strand pending events.
+func (n *NIC) SetScheduler(s *sim.Scheduler) { n.sched = s }
+
 // QueueLen reports the current transmit queue depth.
 func (n *NIC) QueueLen() int { return len(n.txq) - n.txhead }
 

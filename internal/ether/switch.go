@@ -2,6 +2,7 @@ package ether
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"virtualwire/internal/metrics"
@@ -210,7 +211,29 @@ func (sw *Switch) Reset() {
 			seg.Reset()
 		case *Link:
 			seg.Reset()
+		case *trunkHalf:
+			seg.reset()
 		}
+	}
+}
+
+// NumPorts reports how many ports the switch has.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// SetPortRand pins the random source used by port idx's segment. The
+// sharded engine derives one generator per segment from (seed, segment
+// construction order) so random draws do not depend on event
+// interleaving across shards; a segment shared by two ports (a Link)
+// takes the last assignment. Buses and links fall back to their
+// scheduler's generator when unset, which is the legacy behavior.
+func (sw *Switch) SetPortRand(idx int, r *rand.Rand) {
+	switch seg := sw.ports[idx].segment.(type) {
+	case *SharedBus:
+		seg.SetRand(r)
+	case *Link:
+		seg.SetRand(r)
+	case *trunkHalf:
+		seg.rng = r
 	}
 }
 
@@ -285,10 +308,12 @@ func (c *LinkConfig) fill() {
 // Link is a full-duplex point-to-point medium between exactly two NICs.
 // Each direction serializes independently; there are no collisions.
 type Link struct {
-	cfg   LinkConfig
-	sched *sim.Scheduler
-	ends  []*NIC
-	busy  [2]time.Duration // per-direction: when the current tx ends
+	cfg    LinkConfig
+	sched  *sim.Scheduler
+	ends   []*NIC
+	busy   [2]time.Duration // per-direction: when the current tx ends
+	active [2]bool          // per-direction: a txEnd event is pending
+	rng    *rand.Rand       // optional pinned source (see SetRand)
 }
 
 var _ Medium = (*Link)(nil)
@@ -326,6 +351,20 @@ func (l *Link) kick(n *NIC) {
 // assumed cancelled (scheduler reset).
 func (l *Link) Reset() {
 	l.busy = [2]time.Duration{}
+	l.active = [2]bool{}
+}
+
+// SetRand pins the bit-error random source. When unset, draws come from
+// the scheduler's shared generator (legacy behavior). The sharded
+// engine pins per-segment generators so draw sequences are independent
+// of cross-shard event interleaving.
+func (l *Link) SetRand(r *rand.Rand) { l.rng = r }
+
+func (l *Link) rand() *rand.Rand {
+	if l.rng != nil {
+		return l.rng
+	}
+	return l.sched.Rand()
 }
 
 func (l *Link) dirOf(n *NIC) int {
@@ -344,12 +383,17 @@ func (l *Link) pump(dir int) {
 	if fr == nil {
 		return
 	}
-	now := l.sched.Now()
-	if now < l.busy[dir] {
-		// Serializer busy; it re-pumps when done.
+	// Guard on the pending-txEnd flag, not the clock: an event with a
+	// smaller sequence number can fire at exactly busy[dir] ahead of
+	// the txEnd sharing that timestamp, and a time comparison would
+	// admit its kick and double-schedule txEnd (double-dequeuing the
+	// in-flight frame). The txEnd re-pumps, so returning is lossless.
+	if l.active[dir] {
 		return
 	}
+	now := l.sched.Now()
 	dur := txDuration(len(fr.Data), l.cfg.BitsPerSecond) + bitTime(IFGBits, l.cfg.BitsPerSecond)
+	l.active[dir] = true
 	l.busy[dir] = now + dur
 	l.sched.At(now+dur, "link.txEnd", func() {
 		out := src.dequeue()
@@ -362,17 +406,18 @@ func (l *Link) pump(dir int) {
 			if p > 1 {
 				p = 1
 			}
-			if l.sched.Rand().Float64() < p {
+			if l.rand().Float64() < p {
 				cp.Corrupt = true
 				if len(cp.Data) > 12 {
-					i := 12 + l.sched.Rand().Intn(len(cp.Data)-12)
-					cp.Data[i] ^= 1 << uint(l.sched.Rand().Intn(8))
+					i := 12 + l.rand().Intn(len(cp.Data)-12)
+					cp.Data[i] ^= 1 << uint(l.rand().Intn(8))
 				}
 			}
 		}
 		// The delivery copy is on its way; the transmitted original is
 		// dead and goes back to the pool.
 		l.cfg.Pool.Put(out)
+		l.active[dir] = false
 		l.sched.After(l.cfg.Propagation, "link.deliver", func() { dst.deliver(cp) })
 		l.pump(dir)
 	})

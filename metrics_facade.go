@@ -229,8 +229,18 @@ func (n *Node) SnapshotLayers() []string {
 // registerMetricSources wires every built layer into the registry with
 // the uniform Snapshot hook; called once from build().
 func (tb *Testbed) registerMetricSources() {
-	tb.reg.RegisterSource(MetricsNode, "scheduler", tb.sched.Snapshot)
-	tb.reg.RegisterSource(MetricsNode, "pool", tb.pool.Snapshot)
+	if tb.shards != nil {
+		// Sharded engine: one aggregate source each for the per-shard
+		// schedulers and pools. Counter sums are shard-count invariant
+		// (every event executes on exactly one queue, every frame cycles
+		// through exactly one pool), so reports match the single-queue
+		// readings byte for byte.
+		tb.reg.RegisterSource(MetricsNode, "scheduler", tb.shardSchedulerSnapshot)
+		tb.reg.RegisterSource(MetricsNode, "pool", tb.shardPoolSnapshot)
+	} else {
+		tb.reg.RegisterSource(MetricsNode, "scheduler", tb.sched.Snapshot)
+		tb.reg.RegisterSource(MetricsNode, "pool", tb.pool.Snapshot)
+	}
 	if tb.ctl != nil {
 		tb.reg.RegisterSource(MetricsNode, "controller", tb.ctl.Snapshot)
 	}

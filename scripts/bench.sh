@@ -17,8 +17,15 @@ BENCHTIME="${1:-2s}"
 
 run_bench() {
     # $1 = package, $2 = benchmark regexp
-    go test -run '^$' -bench "$2" -benchmem -benchtime "$BENCHTIME" "$1" \
-        | tee -a /dev/stderr
+    # A pattern that matches nothing (renamed or deleted benchmark)
+    # would silently drop its entries from the JSON; fail loudly instead.
+    out="$(go test -run '^$' -bench "$2" -benchmem -benchtime "$BENCHTIME" "$1")"
+    if ! printf '%s\n' "$out" | grep -q '^Benchmark'; then
+        printf '%s\n' "$out" >&2
+        echo "bench.sh: pattern '$2' matched no benchmarks in $1" >&2
+        exit 1
+    fi
+    printf '%s\n' "$out" | tee -a /dev/stderr
 }
 
 # Parse `go test -bench` output lines of the form
@@ -30,18 +37,20 @@ emit_json() {
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix if present
-        ns = ""; bytes = ""; allocs = ""; runs = ""
+        ns = ""; bytes = ""; allocs = ""; runs = ""; cpus = ""
         for (i = 2; i <= NF; i++) {
             if ($(i) == "ns/op")     ns = $(i - 1)
             if ($(i) == "B/op")      bytes = $(i - 1)
             if ($(i) == "allocs/op") allocs = $(i - 1)
             if ($(i) == "runs/s")    runs = $(i - 1)
+            if ($(i) == "cpus")      cpus = $(i - 1)
         }
         if (ns == "") next
         if (!first) print ","
         first = 0
         printf "  \"%s\": {\"ns_per_op\": %s", name, ns
         if (runs != "")   printf ", \"runs_per_sec\": %s", runs
+        if (cpus != "")   printf ", \"cpus\": %s", cpus
         if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
         if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
         printf "}"
@@ -58,7 +67,7 @@ trap 'rm -f "$RAW"' EXIT
     run_bench ./internal/sim 'BenchmarkScheduler'
     run_bench ./internal/core 'BenchmarkClassifier'
     run_bench ./internal/ether 'BenchmarkBusForwarding'
-    run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario|BenchmarkTopology'
+    run_bench . 'BenchmarkEngineInterception|BenchmarkFig5Scenario|BenchmarkFig6Scenario|BenchmarkTopology|BenchmarkSharded'
 } > "$RAW"
 emit_json "$RAW" BENCH_core.json
 

@@ -28,6 +28,54 @@ go run -race ./cmd/vwcampaign \
     -seeds 4 -ber 0,1e-6 -workers 4 -horizon 30s \
     -summary none
 
+echo "== sharded engine identity smoke =="
+# The sharded windowed engine must be byte-identical to its one-shard
+# run: same fat-tree campaign through the real CLI at 1 and 4 shards,
+# diffed record-for-record. (The exhaustive 100+-combination property
+# lives in TestShardedMatchesSerialAcrossSeeds; this catches CLI-level
+# plumbing regressions.)
+SHARD_A="$(mktemp)"
+SHARD_B="$(mktemp)"
+trap 'rm -f "$SHARD_A" "$SHARD_B"' EXIT
+go run ./cmd/vwcampaign \
+    -hosts 64 -topology fattree -manyflow 8:4096 \
+    -seeds 2 -horizon 5s -workers 1 -summary none \
+    -shards 1 -out "$SHARD_A"
+go run ./cmd/vwcampaign \
+    -hosts 64 -topology fattree -manyflow 8:4096 \
+    -seeds 2 -horizon 5s -workers 1 -summary none \
+    -shards 4 -out "$SHARD_B"
+if ! cmp -s "$SHARD_A" "$SHARD_B"; then
+    echo "sharded identity smoke: 4-shard JSONL differs from 1-shard" >&2
+    diff "$SHARD_A" "$SHARD_B" >&2 || true
+    exit 1
+fi
+echo "sharded identity smoke: 1-shard and 4-shard records identical"
+
+echo "== sharded speedup gate =="
+# On a multi-core machine, four shards must actually buy wall-clock:
+# the 1000-host fat-tree benchmark at 4 shards is gated at >= 1.8x the
+# serial (one-shard) figure. Single- and dual-core boxes cannot express
+# the parallelism, so the gate only runs with 4+ schedulable CPUs.
+NCPU="$(nproc 2>/dev/null || echo 1)"
+if [ "$NCPU" -ge 4 ]; then
+    SWEEP="$(go test -run '^$' -bench 'BenchmarkShardedFatTree/(serial|shards4)' -benchtime 3x .)"
+    echo "$SWEEP" | grep '^Benchmark' || true
+    SERIAL_NS="$(echo "$SWEEP" | awk '/ShardedFatTree\/serial/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i - 1) }')"
+    SHARD4_NS="$(echo "$SWEEP" | awk '/ShardedFatTree\/shards4/ { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") print $(i - 1) }')"
+    if [ -z "$SERIAL_NS" ] || [ -z "$SHARD4_NS" ]; then
+        echo "sharded speedup gate: failed to measure serial/shards4 ns/op" >&2
+        exit 1
+    fi
+    if ! awk -v s="$SERIAL_NS" -v p="$SHARD4_NS" 'BEGIN { exit !(s >= 1.8 * p) }'; then
+        echo "sharded speedup regressed: serial $SERIAL_NS ns/op vs shards4 $SHARD4_NS ns/op (< 1.8x)" >&2
+        exit 1
+    fi
+    echo "sharded speedup: serial $SERIAL_NS ns/op, shards4 $SHARD4_NS ns/op (>= 1.8x)"
+else
+    echo "sharded speedup gate: skipped ($NCPU CPUs; needs >= 4 to express the parallelism)"
+fi
+
 echo "== campaign allocation gate =="
 # The campaign executor compiles each scenario variant once and resets
 # long-lived worker testbeds between runs; if a change quietly reverts to

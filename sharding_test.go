@@ -1,0 +1,291 @@
+package virtualwire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// shardTopologies are the fabric shapes the identity property sweeps:
+// every kind exercises a different trunk pattern (hub-and-spoke, a
+// blocked redundant trunk, multi-stage up/down paths).
+var shardTopologies = []struct {
+	name  string
+	spec  TopologySpec
+	hosts int
+}{
+	{"star", TopologySpec{Kind: TopoStar, Switches: 4}, 24},
+	{"ring", TopologySpec{Kind: TopoRing, Switches: 4}, 24},
+	{"fattree", TopologySpec{Kind: TopoFatTree, FatTreeK: 4}, 16},
+}
+
+// shardedManyFlowReport builds a scriptless fabric testbed at the given
+// shard count, drives a ManyFlow mesh across it and returns the
+// RunReport bytes.
+func shardedManyFlowReport(t *testing.T, spec TopologySpec, hosts int, seed int64, shards int) []byte {
+	t.Helper()
+	topo := spec
+	tb, err := New(Config{Seed: seed, Shards: shards, Topology: &topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, hosts)
+	mf, err := tb.AddManyFlow(ManyFlowConfig{Flows: hosts / 2, Bytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Completed() != mf.Flows() {
+		t.Fatalf("seed %d shards %d: flows completed %d/%d (failed %d)",
+			seed, shards, mf.Completed(), mf.Flows(), mf.Failed())
+	}
+	return reportBytes(t, rep)
+}
+
+// TestShardedMatchesSerialAcrossSeeds is the tentpole property: the
+// windowed engine produces byte-identical RunReports at 1, 2 and 4
+// shards, across 100+ (seed, topology) combinations. Shard count only
+// chooses which goroutine executes which switch's events; nothing
+// observable may depend on it.
+func TestShardedMatchesSerialAcrossSeeds(t *testing.T) {
+	seedCount := 36
+	if testing.Short() {
+		seedCount = 4
+	}
+	for _, topo := range shardTopologies {
+		t.Run(topo.name, func(t *testing.T) {
+			for i := 0; i < seedCount; i++ {
+				seed := int64(i*7919 + 13)
+				serial := shardedManyFlowReport(t, topo.spec, topo.hosts, seed, 1)
+				for _, shards := range []int{2, 4} {
+					got := shardedManyFlowReport(t, topo.spec, topo.hosts, seed, shards)
+					if !bytes.Equal(got, serial) {
+						t.Fatalf("seed %d: %d-shard report diverges from serial\nserial:\n%s\nsharded:\n%s",
+							seed, shards, serial, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedScriptedMatchesSerial covers the control plane: a scripted
+// scenario (controller launch, INIT distribution, fault injection,
+// verdict) over a two-edge star, with the client and server on
+// different shards.
+func TestShardedScriptedMatchesSerial(t *testing.T) {
+	script := readScript(t, "quickstart_drop.fsl")
+	cs, err := CompileScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCount := 10
+	if testing.Short() {
+		seedCount = 3
+	}
+	run := func(seed int64, shards int) []byte {
+		topo := TopologySpec{Kind: TopoStar, Switches: 2}
+		tb := buildQuickstart(t, cs, Config{Seed: seed, Shards: shards, Topology: &topo})
+		addQuickstartBulk(t, tb)
+		rep, err := tb.Run(resetTestHorizon)
+		if err != nil {
+			t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+		}
+		if !rep.Passed {
+			t.Fatalf("seed %d shards %d: scenario failed: %+v", seed, shards, rep.Result)
+		}
+		return reportBytes(t, rep)
+	}
+	for i := 0; i < seedCount; i++ {
+		seed := int64(i*104729 + 7)
+		serial := run(seed, 1)
+		if got := run(seed, 2); !bytes.Equal(got, serial) {
+			t.Fatalf("seed %d: 2-shard scripted report diverges from serial\nserial:\n%s\nsharded:\n%s",
+				seed, serial, got)
+		}
+	}
+}
+
+// TestShardedWorkloadsMatchSerial sweeps the remaining workload kinds
+// (TCP bulk with pacing, UDP echo, UDP stream, incast) through the
+// sharded engine at 1 vs 4 shards on a star fabric.
+func TestShardedWorkloadsMatchSerial(t *testing.T) {
+	addLoad := map[string]func(t *testing.T, tb *Testbed, nodes []*Node){
+		"tcpbulk-paced": func(t *testing.T, tb *Testbed, nodes []*Node) {
+			if _, err := tb.AddTCPBulk(TCPBulkConfig{
+				From: nodes[0].Name(), To: nodes[1].Name(),
+				SrcPort: 0x6000, DstPort: 0x4000,
+				RateBitsPerSecond: 2e6, Duration: 200 * time.Millisecond,
+				CloseWhenDone: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"udpecho": func(t *testing.T, tb *Testbed, nodes []*Node) {
+			if _, err := tb.AddUDPEcho(UDPEchoConfig{
+				Client: nodes[0].Name(), Server: nodes[1].Name(),
+				ServerPort: 0x5300, Count: 50,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"udpstream": func(t *testing.T, tb *Testbed, nodes []*Node) {
+			if _, err := tb.AddUDPStream(UDPStreamConfig{
+				From: nodes[0].Name(), To: nodes[1].Name(),
+				Port: 0x5400, Count: 50,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"incast": func(t *testing.T, tb *Testbed, nodes []*Node) {
+			if _, err := tb.AddIncast(IncastConfig{Bytes: 4 << 10}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, load := range addLoad {
+		t.Run(name, func(t *testing.T) {
+			run := func(shards int) []byte {
+				tb, err := New(Config{
+					Seed:   21,
+					Shards: shards,
+					Topology: &TopologySpec{
+						Kind: TopoStar, Switches: 4,
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nodes := addGroupHosts(t, tb, 16)
+				load(t, tb, nodes)
+				rep, err := tb.Run(2 * time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return reportBytes(t, rep)
+			}
+			serial := run(1)
+			if got := run(4); !bytes.Equal(got, serial) {
+				t.Fatalf("4-shard report diverges from serial\nserial:\n%s\nsharded:\n%s", serial, got)
+			}
+		})
+	}
+}
+
+// TestShardedResetKeepsTopologyState extends the reset invariants to
+// sharded fabrics: across Reset cycles on a ring (which carries one
+// redundant, spanning-tree-blocked trunk), the blocked trunk stays
+// blocked, every trunk mailbox drains empty, the rewind allocates
+// nothing, and the re-run stays byte-identical to the first.
+func TestShardedResetKeepsTopologyState(t *testing.T) {
+	topo := TopologySpec{Kind: TopoRing, Switches: 4}
+	tb, err := New(Config{Seed: 31, Shards: 4, Topology: &topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, 24)
+	addLoad := func() *ManyFlow {
+		mf, err := tb.AddManyFlow(ManyFlowConfig{Flows: 12, Bytes: 2 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mf
+	}
+	addLoad()
+	first, err := tb.Run(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, first)
+	if tb.fabricBlocked != 1 {
+		t.Fatalf("ring blocked trunks = %d, want 1", tb.fabricBlocked)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		if allocs := testing.AllocsPerRun(5, func() {
+			if err := tb.Reset(31); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Fatalf("cycle %d: sharded Reset allocates %.0f objects per run, want 0", cycle, allocs)
+		}
+		if tb.fabricBlocked != 1 {
+			t.Fatalf("cycle %d: blocked trunk count changed to %d", cycle, tb.fabricBlocked)
+		}
+		for i, ch := range tb.shards.channels {
+			if n := ch.PendingDeposits(); n != 0 {
+				t.Fatalf("cycle %d: trunk channel %d holds %d undrained deposits after Reset", cycle, i, n)
+			}
+		}
+		mf := addLoad()
+		rep, err := tb.Run(3 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mf.Completed() != mf.Flows() {
+			t.Fatalf("cycle %d: flows completed %d/%d", cycle, mf.Completed(), mf.Flows())
+		}
+		if got := reportBytes(t, rep); !bytes.Equal(got, want) {
+			t.Fatalf("cycle %d: re-run after Reset diverged from first run", cycle)
+		}
+	}
+}
+
+// TestShardedRunForAndAuto covers the remaining entry points: RunFor
+// drives the windowed engine without a controller, ShardsAuto resolves
+// to a legal count, and a single-switch testbed accepts Shards >= 1 by
+// collapsing to one shard.
+func TestShardedRunForAndAuto(t *testing.T) {
+	topo := TopologySpec{Kind: TopoStar, Switches: 4}
+	tb, err := New(Config{Seed: 3, Shards: ShardsAuto, Topology: &topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, 8)
+	if _, err := tb.AddUDPStream(UDPStreamConfig{
+		From: "h0001", To: "h0008", Port: 0x5400, Count: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.shards.count; got < 1 || got > 4 {
+		t.Fatalf("auto shard count = %d, want 1..4", got)
+	}
+
+	// Single switch: the windowed engine with no trunks, driven by RunFor.
+	single, err := New(Config{Seed: 4, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.AddHostGroup("h", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if single.shards.count != 1 {
+		t.Fatalf("single-switch shard count = %d, want 1", single.shards.count)
+	}
+	if got, want := single.sched.Now(), 50*time.Millisecond; got != want {
+		t.Fatalf("RunFor left the clock at %v, want %v", got, want)
+	}
+}
+
+// TestShardConfigValidation pins the rejected configurations.
+func TestShardConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Shards: -2},
+		{Shards: 2, Medium: MediumBus},
+		{Shards: 2, TraceCapacity: 64},
+		{Shards: 2, MetricsSampleInterval: time.Millisecond},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted, want error", cfg)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package virtualwire
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"virtualwire/internal/ether"
 	"virtualwire/internal/packet"
@@ -92,6 +93,12 @@ type TopologySpec struct {
 	// TrunkBitsPerSecond is the inter-switch link bandwidth (default
 	// 10x the host link rate).
 	TrunkBitsPerSecond float64
+	// TrunkPropagation is the inter-switch cable delay (default: the
+	// host segment propagation, i.e. Config.Propagation). Sharded runs
+	// derive their conservative window lookahead from this value, so
+	// campus-length trunks (microseconds) buy proportionally longer
+	// parallel windows — see docs/PERFORMANCE.md, "Sharded execution".
+	TrunkPropagation time.Duration
 	// WiringSeed drives the random generator's RNG only (default 1). It
 	// is deliberately separate from Config.Seed: run seeds vary per
 	// campaign point, wiring must not.
@@ -234,14 +241,32 @@ func (tb *Testbed) buildFabric() error {
 	if trunkRate <= 0 {
 		trunkRate = 10 * hostRate
 	}
+	trunkProp := spec.TrunkPropagation
+	if trunkProp <= 0 {
+		trunkProp = tb.cfg.Propagation
+	}
+	// Shard planning (sharded mode only): every switch — and with it the
+	// hosts it serves — is assigned to one shard before anything is
+	// wired, so each switch is constructed directly on its shard's
+	// scheduler and pool. Legacy mode assigns everything to shard 0,
+	// where shardSched/shardPool resolve to tb.sched/tb.pool.
+	hostsPer := make([]int, plan.switches)
+	for i := range tb.nodes {
+		hostsPer[plan.edges[i%len(plan.edges)]]++
+	}
+	shardOf := make([]int, plan.switches)
+	if tb.shardMode() {
+		tb.initShardRuntime(tb.resolveShardCount(len(plan.edges)))
+		shardOf = planShards(plan, hostsPer, tb.shards.count)
+	}
 	tb.fabric = make([]*ether.Switch, plan.switches)
 	for i := range tb.fabric {
-		tb.fabric[i] = ether.NewSwitch(tb.sched, ether.SwitchConfig{
+		tb.fabric[i] = ether.NewSwitch(tb.shardSched(shardOf[i]), ether.SwitchConfig{
 			BitsPerSecond: tb.cfg.BitsPerSecond,
 			Propagation:   tb.cfg.Propagation,
 			BitErrorRate:  tb.cfg.BitErrorRate,
 			FullDuplex:    tb.cfg.Medium == MediumSwitchFullDuplex,
-			Pool:          tb.pool,
+			Pool:          tb.shardPool(shardOf[i]),
 			ID:            i,
 		})
 	}
@@ -252,12 +277,35 @@ func (tb *Testbed) buildFabric() error {
 	ports := make([]trunkPorts, len(plan.trunks))
 	adj := make([][]int, plan.switches) // trunk indices per switch
 	for ti, w := range plan.trunks {
-		pa, pb := ether.ConnectTrunk(tb.fabric[w.a], tb.fabric[w.b], ether.LinkConfig{
-			BitsPerSecond: trunkRate,
-			Propagation:   tb.cfg.Propagation,
-			BitErrorRate:  tb.cfg.BitErrorRate,
-			Pool:          tb.pool,
-		})
+		var pa, pb int
+		if tb.shardMode() {
+			// Every trunk becomes a mailbox channel regardless of whether
+			// its ends share a shard: the windowed engine's behavior must
+			// not depend on the partition, or shard counts would produce
+			// different outputs.
+			var ch *ether.TrunkChannel
+			ch, pa, pb = ether.ConnectTrunkChannel(tb.fabric[w.a], tb.fabric[w.b],
+				ether.LinkConfig{
+					BitsPerSecond: trunkRate,
+					Propagation:   trunkProp,
+					BitErrorRate:  tb.cfg.BitErrorRate,
+					Pool:          tb.shardPool(shardOf[w.a]),
+				},
+				ether.LinkConfig{
+					BitsPerSecond: trunkRate,
+					Propagation:   trunkProp,
+					BitErrorRate:  tb.cfg.BitErrorRate,
+					Pool:          tb.shardPool(shardOf[w.b]),
+				})
+			tb.shards.channels = append(tb.shards.channels, ch)
+		} else {
+			pa, pb = ether.ConnectTrunk(tb.fabric[w.a], tb.fabric[w.b], ether.LinkConfig{
+				BitsPerSecond: trunkRate,
+				Propagation:   trunkProp,
+				BitErrorRate:  tb.cfg.BitErrorRate,
+				Pool:          tb.pool,
+			})
+		}
 		ports[ti] = trunkPorts{w, pa, pb}
 		adj[w.a] = append(adj[w.a], ti)
 		adj[w.b] = append(adj[w.b], ti)
@@ -297,9 +345,112 @@ func (tb *Testbed) buildFabric() error {
 		tb.fabricBlocked++
 	}
 	for i, n := range tb.nodes {
-		tb.fabric[plan.edges[i%len(plan.edges)]].AttachHost(n.host.NIC)
+		edge := plan.edges[i%len(plan.edges)]
+		if tb.shardMode() {
+			tb.bindNodeShard(n, shardOf[edge])
+		}
+		tb.fabric[edge].AttachHost(n.host.NIC)
 	}
 	return nil
+}
+
+// planShards assigns every switch to one of k shards. Edge switches are
+// cut into k contiguous blocks (in plan.edges order) balanced by
+// attached-host count — contiguity keeps pods/neighbor switches
+// together, a cheap stand-in for a min-cut since every generator lays
+// related switches out adjacently. Interior switches (cores,
+// aggregators) then adopt the majority shard of their spanning-tree
+// children, processed leaves-first, so an aggregator lands with the pod
+// block it serves and most tree trunks stay shard-internal. The result
+// is a pure function of (plan, host layout, k): independent of seeds,
+// GOMAXPROCS and run history.
+func planShards(plan fabricPlan, hostsPer []int, k int) []int {
+	if k > len(plan.edges) {
+		k = len(plan.edges)
+	}
+	if k < 1 {
+		k = 1
+	}
+	shard := make([]int, plan.switches)
+	for i := range shard {
+		shard[i] = -1
+	}
+	total := 0
+	for _, e := range plan.edges {
+		total += hostsPer[e]
+	}
+	s, cum := 0, 0
+	for i, e := range plan.edges {
+		shard[e] = s
+		cum += hostsPer[e]
+		remaining := len(plan.edges) - i - 1
+		if s < k-1 && cum*k >= (s+1)*total && remaining >= k-1-s {
+			s++
+		}
+	}
+	// Spanning tree (same BFS as buildFabric: from switch 0 in wiring
+	// order) to find each interior switch's children.
+	adj := make([][]int, plan.switches)
+	for ti, w := range plan.trunks {
+		adj[w.a] = append(adj[w.a], ti)
+		adj[w.b] = append(adj[w.b], ti)
+	}
+	parent := make([]int, plan.switches)
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, plan.switches)
+	visited[0] = true
+	order := []int{0}
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for _, ti := range adj[v] {
+			w := plan.trunks[ti]
+			other := w.a + w.b - v
+			if !visited[other] {
+				visited[other] = true
+				parent[other] = v
+				order = append(order, other)
+			}
+		}
+	}
+	children := make([][]int, plan.switches)
+	for v, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	counts := make([]int, k)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if shard[v] >= 0 {
+			continue
+		}
+		for j := range counts {
+			counts[j] = 0
+		}
+		best := -1
+		for _, c := range children[v] {
+			if sc := shard[c]; sc >= 0 {
+				counts[sc]++
+				if best < 0 || counts[sc] > counts[best] || (counts[sc] == counts[best] && sc < best) {
+					best = sc
+				}
+			}
+		}
+		if best < 0 {
+			best = 0
+		}
+		shard[v] = best
+	}
+	for i := range shard {
+		if shard[i] < 0 {
+			// Unreached switches (disconnected plans are rejected later
+			// by buildFabric) default to shard 0.
+			shard[i] = 0
+		}
+	}
+	return shard
 }
 
 // fabricSnapshot aggregates the fabric's switches into one metrics

@@ -146,6 +146,16 @@ type Config struct {
 	// ring, fat-tree, random) joined by trunk links — the 1000-node
 	// scale substrate. Requires a switch Medium. See docs/TOPOLOGIES.md.
 	Topology *TopologySpec
+	// Shards selects the conservative-windowed parallel engine: the
+	// fabric is partitioned into this many shards, each running its own
+	// event queue on its own goroutine, synchronized at trunk-lookahead
+	// window barriers. Output is byte-identical at any shard count.
+	// 0 (the default) keeps the classic single-queue engine; ShardsAuto
+	// picks min(GOMAXPROCS, edge switches); explicit counts are clamped
+	// to the fabric size. Requires a switch medium and is incompatible
+	// with TraceCapacity and MetricsSampleInterval. See
+	// docs/PERFORMANCE.md, "Sharded execution".
+	Shards int
 	// TraceCapacity, when positive, records a tcpdump-like trace of up
 	// to this many frames (tap directly above each NIC).
 	TraceCapacity int
@@ -314,6 +324,10 @@ type Testbed struct {
 
 	workloads []workload
 	built     bool
+
+	// shards is the windowed parallel engine's runtime (nil unless
+	// Config.Shards is set); created in build.
+	shards *shardRuntime
 }
 
 type portPair struct {
@@ -328,6 +342,9 @@ type workload interface {
 func New(cfg Config) (*Testbed, error) {
 	if cfg.Medium == 0 {
 		cfg.Medium = MediumSwitch
+	}
+	if err := validateShardConfig(&cfg); err != nil {
+		return nil, err
 	}
 	tb := &Testbed{
 		cfg:    cfg,
@@ -547,12 +564,15 @@ func (tb *Testbed) build() error {
 		pcapNode = tb.nodes[0].name
 	}
 	for _, n := range tb.nodes {
+		// Layers run on the node's scheduler — tb.sched everywhere except
+		// sharded fabrics, where buildFabric has rebound each host to its
+		// shard's queue.
 		var layers []stack.Layer
 		if tb.tracing != nil {
-			layers = append(layers, trace.NewTap(tb.sched, n.name, tb.tracing))
+			layers = append(layers, trace.NewTap(n.host.Sched, n.name, tb.tracing))
 		}
 		if pcapWriter != nil && n.name == pcapNode {
-			layers = append(layers, trace.NewPcapTap(tb.sched, pcapWriter))
+			layers = append(layers, trace.NewPcapTap(n.host.Sched, pcapWriter))
 		}
 		if n.rll != nil {
 			layers = append(layers, n.rll)
@@ -561,7 +581,7 @@ func (tb *Testbed) build() error {
 		if inRing[n.name] {
 			rcfg := tb.retherCfg
 			rcfg.Ring = ringMACs
-			n.rether = rether.New(tb.sched, n.host.MAC, rcfg)
+			n.rether = rether.New(n.host.Sched, n.host.MAC, rcfg)
 			if len(tb.rtStreams) > 0 {
 				streams := append([]portPair(nil), tb.rtStreams...)
 				n.rether.ClassifyRT = func(fr *ether.Frame) bool {
@@ -591,7 +611,7 @@ func (tb *Testbed) build() error {
 		if !ok {
 			return fmt.Errorf("virtualwire: control node %q not in script", ctlName)
 		}
-		ctl, err := core.NewController(tb.sched, tb.prog, tb.byName[ctlName].engine, ctlID)
+		ctl, err := core.NewController(tb.byName[ctlName].host.Sched, tb.prog, tb.byName[ctlName].engine, ctlID)
 		if err != nil {
 			return err
 		}
@@ -613,6 +633,9 @@ func (tb *Testbed) build() error {
 			}
 		}
 		tb.ctl = ctl
+	}
+	if tb.shardMode() {
+		tb.finishShardBuild()
 	}
 	tb.registerMetricSources()
 	return nil
@@ -666,6 +689,9 @@ const ctxPollEvents = 64
 func (tb *Testbed) RunContext(ctx context.Context, horizon time.Duration) (RunReport, error) {
 	if err := tb.build(); err != nil {
 		return RunReport{}, err
+	}
+	if tb.shardMode() {
+		return tb.runShardedContext(ctx, horizon)
 	}
 	start := tb.sched.Now()
 	if tb.ctl != nil {
@@ -728,10 +754,18 @@ func (tb *Testbed) RunContext(ctx context.Context, horizon time.Duration) (RunRe
 		}
 		tb.sched.Step()
 	}
+	rep := tb.assembleRunReport(start, tb.sched.Executed())
+	return finishRunReport(rep, ctxErr)
+}
+
+// assembleRunReport gathers the run outcome shared by the legacy and
+// sharded engines: duration, scenario verdict, fault journal, per-node
+// reports and the metrics digest.
+func (tb *Testbed) assembleRunReport(start time.Duration, events uint64) RunReport {
 	rep := RunReport{
 		Seed:     tb.cfg.Seed,
 		Duration: tb.sched.Now() - start,
-		Events:   tb.sched.Executed(),
+		Events:   events,
 	}
 	if tb.ctl != nil {
 		rep.Scenario = tb.prog.Name
@@ -748,6 +782,12 @@ func (tb *Testbed) RunContext(ctx context.Context, horizon time.Duration) (RunRe
 	rep.Errors = append([]ErrorReport(nil), rep.Result.Errors...)
 	rep.Nodes = tb.nodeReports()
 	rep.Metrics = tb.metricsSummary()
+	return rep
+}
+
+// finishRunReport applies the context-interruption error wrapping shared
+// by both engines.
+func finishRunReport(rep RunReport, ctxErr error) (RunReport, error) {
 	if ctxErr != nil {
 		rep.Passed = false
 		if errors.Is(ctxErr, context.DeadlineExceeded) {
@@ -767,6 +807,13 @@ func (tb *Testbed) RunContext(ctx context.Context, horizon time.Duration) (RunRe
 func (tb *Testbed) RunFor(d time.Duration) error {
 	if err := tb.build(); err != nil {
 		return err
+	}
+	if tb.shardMode() {
+		ctxErr, err := tb.runWindowed(context.Background(), tb.sched.Now()+d)
+		if err != nil {
+			return err
+		}
+		return ctxErr
 	}
 	return tb.sched.RunUntil(tb.sched.Now() + d)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"virtualwire/internal/packet"
+	"virtualwire/internal/sim"
 	"virtualwire/internal/tcp"
 )
 
@@ -44,9 +45,19 @@ type TCPBulk struct {
 	lastByteAt  time.Duration
 	closed      bool
 	failed      bool
+
+	// clientClosed is the client-side "transfer finished" marker the
+	// sharded pace loop watches. The legacy loop reads closed, which the
+	// server's OnClose sets — a cross-shard read under sharded execution,
+	// where the observed value would depend on the partition rather than
+	// on virtual time.
+	clientClosed bool
 }
 
-var _ workload = (*TCPBulk)(nil)
+var (
+	_ workload        = (*TCPBulk)(nil)
+	_ shardedWorkload = (*TCPBulk)(nil)
+)
 
 // AddTCPBulk stages a bulk TCP workload; it starts when the scenario
 // starts (or immediately when no script is loaded).
@@ -137,6 +148,89 @@ func (w *TCPBulk) pace(tb *Testbed, started time.Duration) {
 	step()
 }
 
+// parts decomposes the transfer for sharded execution: the listener is
+// installed here at the barrier (every shard parked), the connect-and-
+// send loop runs on the client's shard. Server-side callbacks touch
+// only server-written fields and read the server shard's clock; the
+// client side owns everything else.
+func (w *TCPBulk) parts(tb *Testbed) ([]workloadPart, error) {
+	from := tb.byName[w.cfg.From]
+	to := tb.byName[w.cfg.To]
+	lst, err := to.tcp.Listen(w.cfg.DstPort)
+	if err != nil {
+		return nil, err
+	}
+	srvSched := to.host.Sched
+	lst.OnAccept = func(c *tcp.Conn) {
+		c.OnData = func(d []byte) {
+			if w.delivered == 0 {
+				w.firstByteAt = srvSched.Now()
+			}
+			w.delivered += len(d)
+			w.lastByteAt = srvSched.Now()
+		}
+		c.OnClose = func() {
+			w.closed = true
+			c.Close()
+		}
+	}
+	cliSched := from.host.Sched
+	run := func() {
+		conn, err := from.tcp.Connect(w.cfg.SrcPort, to.host.IP, w.cfg.DstPort)
+		if err != nil {
+			w.failed = true
+			return
+		}
+		w.conn = conn
+		if w.cfg.DisableCongestionControl {
+			conn.DisableCongestionControl()
+		}
+		conn.OnFail = func() { w.failed = true }
+		conn.OnConnected = func() {
+			w.connected = true
+			if w.cfg.Bytes > 0 {
+				conn.Send(make([]byte, w.cfg.Bytes))
+				if w.cfg.CloseWhenDone {
+					conn.Close()
+				}
+				return
+			}
+			w.paceSharded(cliSched, cliSched.Now())
+		}
+	}
+	return []workloadPart{{node: from, run: run}}, nil
+}
+
+// paceSharded is pace on the client shard's scheduler. It stops on the
+// client-local clientClosed flag (set when this loop itself closes the
+// connection) instead of the server-written closed marker.
+func (w *TCPBulk) paceSharded(sched *sim.Scheduler, started time.Duration) {
+	const tick = time.Millisecond
+	const maxBuffered = 512 * 1024
+	perTick := int(w.cfg.RateBitsPerSecond * tick.Seconds() / 8)
+	if perTick <= 0 {
+		perTick = 1
+	}
+	var step func()
+	step = func() {
+		if w.failed || w.clientClosed {
+			return
+		}
+		if w.cfg.Duration > 0 && sched.Now()-started >= w.cfg.Duration {
+			if w.cfg.CloseWhenDone {
+				w.clientClosed = true
+				w.conn.Close()
+			}
+			return
+		}
+		if w.conn.BufferedBytes() < maxBuffered {
+			w.conn.Send(make([]byte, perTick))
+		}
+		sched.After(tick, "tcpbulk.pace", step)
+	}
+	step()
+}
+
 // Connected reports whether the handshake completed.
 func (w *TCPBulk) Connected() bool { return w.connected }
 
@@ -196,7 +290,10 @@ type UDPEcho struct {
 	pending map[uint64]time.Duration
 }
 
-var _ workload = (*UDPEcho)(nil)
+var (
+	_ workload        = (*UDPEcho)(nil)
+	_ shardedWorkload = (*UDPEcho)(nil)
+)
 
 // AddUDPEcho stages a UDP echo workload.
 func (tb *Testbed) AddUDPEcho(cfg UDPEchoConfig) (*UDPEcho, error) {
@@ -273,6 +370,60 @@ func (w *UDPEcho) start(tb *Testbed) error {
 	return nil
 }
 
+// parts decomposes the echo workload: both sockets bind here at the
+// barrier, the ping loop runs on the client's shard. The server handler
+// only reflects datagrams; every workload field is client-written, with
+// RTTs stamped from the client shard's clock.
+func (w *UDPEcho) parts(tb *Testbed) ([]workloadPart, error) {
+	client := tb.byName[w.cfg.Client]
+	server := tb.byName[w.cfg.Server]
+	rttHist := tb.reg.Histogram(w.cfg.Client, "workload", "udp_echo_rtt_seconds", echoRTTBuckets)
+	srv, err := server.host.UDP.Bind(w.cfg.ServerPort)
+	if err != nil {
+		return nil, err
+	}
+	srv.OnDatagram = func(src packet.IP, srcPort uint16, payload []byte) {
+		_ = srv.SendTo(src, srcPort, payload)
+	}
+	cli, err := client.host.UDP.Bind(w.cfg.ClientPort)
+	if err != nil {
+		return nil, err
+	}
+	sched := client.host.Sched
+	cli.OnDatagram = func(_ packet.IP, _ uint16, payload []byte) {
+		if len(payload) < 8 {
+			return
+		}
+		seq := binary.BigEndian.Uint64(payload)
+		sentAt, ok := w.pending[seq]
+		if !ok {
+			return
+		}
+		delete(w.pending, seq)
+		w.recvd++
+		rtt := sched.Now() - sentAt
+		w.rtts = append(w.rtts, rtt)
+		rttHist.Observe(rtt.Seconds())
+	}
+	run := func() {
+		var ping func()
+		ping = func() {
+			if w.cfg.Count > 0 && w.sent >= w.cfg.Count {
+				return
+			}
+			w.sent++
+			seq := uint64(w.sent)
+			payload := make([]byte, w.cfg.Size)
+			binary.BigEndian.PutUint64(payload, seq)
+			w.pending[seq] = sched.Now()
+			_ = cli.SendTo(server.host.IP, w.cfg.ServerPort, payload)
+			sched.After(w.cfg.Interval, "udpecho.ping", ping)
+		}
+		ping()
+	}
+	return []workloadPart{{node: client, run: run}}, nil
+}
+
 // Sent reports pings transmitted.
 func (w *UDPEcho) Sent() int { return w.sent }
 
@@ -326,7 +477,10 @@ type UDPStream struct {
 	firstSet bool
 }
 
-var _ workload = (*UDPStream)(nil)
+var (
+	_ workload        = (*UDPStream)(nil)
+	_ shardedWorkload = (*UDPStream)(nil)
+)
 
 // AddUDPStream stages a one-way constant-bit-rate datagram stream.
 func (tb *Testbed) AddUDPStream(cfg UDPStreamConfig) (*UDPStream, error) {
@@ -384,6 +538,49 @@ func (w *UDPStream) start(tb *Testbed) error {
 	}
 	tick()
 	return nil
+}
+
+// parts decomposes the stream: the sink binds here at the barrier and
+// owns the receive-side fields (recvd, gap tracking) on its own shard
+// and clock; the tick loop runs on the sender's shard and owns sent.
+func (w *UDPStream) parts(tb *Testbed) ([]workloadPart, error) {
+	from := tb.byName[w.cfg.From]
+	to := tb.byName[w.cfg.To]
+	sink, err := to.host.UDP.Bind(w.cfg.Port)
+	if err != nil {
+		return nil, err
+	}
+	sinkSched := to.host.Sched
+	sink.OnDatagram = func(packet.IP, uint16, []byte) {
+		now := sinkSched.Now()
+		if w.firstSet {
+			if gap := now - w.lastAt; gap > w.maxGap {
+				w.maxGap = gap
+			}
+		}
+		w.firstSet = true
+		w.lastAt = now
+		w.recvd++
+	}
+	src, err := from.host.UDP.Bind(w.cfg.SrcPort)
+	if err != nil {
+		return nil, err
+	}
+	sched := from.host.Sched
+	run := func() {
+		payload := make([]byte, w.cfg.Size)
+		var tick func()
+		tick = func() {
+			if w.cfg.Count > 0 && w.sent >= w.cfg.Count {
+				return
+			}
+			w.sent++
+			_ = src.SendTo(to.host.IP, w.cfg.Port, payload)
+			sched.After(w.cfg.Interval, "udpstream.tick", tick)
+		}
+		tick()
+	}
+	return []workloadPart{{node: from, run: run}}, nil
 }
 
 // Sent reports datagrams transmitted.

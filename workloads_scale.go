@@ -42,10 +42,17 @@ type Incast struct {
 	senders   []string
 	delivered int
 	completed int
-	failed    int
+	// senderFail holds one failure counter per sender. Under sharded
+	// execution each sender's shard writes only its own slot (a shared
+	// counter would be a cross-shard race); the legacy path uses the same
+	// slots so Failed() sums identically either way.
+	senderFail []int
 }
 
-var _ workload = (*Incast)(nil)
+var (
+	_ workload        = (*Incast)(nil)
+	_ shardedWorkload = (*Incast)(nil)
+)
 
 // AddIncast stages an N-to-1 TCP incast workload.
 func (tb *Testbed) AddIncast(cfg IncastConfig) (*Incast, error) {
@@ -100,6 +107,20 @@ func (tb *Testbed) AddIncast(cfg IncastConfig) (*Incast, error) {
 }
 
 func (w *Incast) start(tb *Testbed) error {
+	if err := w.setupReceiver(tb); err != nil {
+		return err
+	}
+	for i, name := range w.senders {
+		from := tb.byName[name]
+		delay := time.Duration(i) * w.cfg.Stagger
+		tb.sched.After(delay, "incast.connect", w.connectFunc(i, from, tb.byName[w.cfg.To]))
+	}
+	return nil
+}
+
+// setupReceiver installs the listener and allocates the per-sender
+// failure slots; shared by the legacy and sharded paths.
+func (w *Incast) setupReceiver(tb *Testbed) error {
 	to := tb.byName[w.cfg.To]
 	lst, err := to.tcp.Listen(w.cfg.DstPort)
 	if err != nil {
@@ -117,23 +138,46 @@ func (w *Incast) start(tb *Testbed) error {
 		}
 		c.OnClose = func() { c.Close() }
 	}
+	w.senderFail = make([]int, len(w.senders))
+	return nil
+}
+
+// connectFunc returns sender i's connect-and-send closure. It touches
+// only sender-local TCP state and the sender's own failure slot.
+func (w *Incast) connectFunc(i int, from, to *Node) func() {
+	return func() {
+		conn, err := from.tcp.Connect(w.cfg.SrcPort, to.host.IP, w.cfg.DstPort)
+		if err != nil {
+			w.senderFail[i]++
+			return
+		}
+		conn.OnFail = func() { w.senderFail[i]++ }
+		conn.OnConnected = func() {
+			conn.Send(make([]byte, w.cfg.Bytes))
+			conn.Close()
+		}
+	}
+}
+
+// parts decomposes the incast for sharded execution: the receiver's
+// listener is installed at the barrier; each sender gets one part on
+// its own shard that schedules the staggered connect locally.
+func (w *Incast) parts(tb *Testbed) ([]workloadPart, error) {
+	if err := w.setupReceiver(tb); err != nil {
+		return nil, err
+	}
+	to := tb.byName[w.cfg.To]
+	parts := make([]workloadPart, 0, len(w.senders))
 	for i, name := range w.senders {
 		from := tb.byName[name]
 		delay := time.Duration(i) * w.cfg.Stagger
-		tb.sched.After(delay, "incast.connect", func() {
-			conn, err := from.tcp.Connect(w.cfg.SrcPort, to.host.IP, w.cfg.DstPort)
-			if err != nil {
-				w.failed++
-				return
-			}
-			conn.OnFail = func() { w.failed++ }
-			conn.OnConnected = func() {
-				conn.Send(make([]byte, w.cfg.Bytes))
-				conn.Close()
-			}
-		})
+		connect := w.connectFunc(i, from, to)
+		sched := from.host.Sched
+		parts = append(parts, workloadPart{node: from, run: func() {
+			sched.After(delay, "incast.connect", connect)
+		}})
 	}
-	return nil
+	return parts, nil
 }
 
 // Senders reports how many senders the workload targets.
@@ -146,7 +190,13 @@ func (w *Incast) Completed() int { return w.completed }
 func (w *Incast) DeliveredBytes() int { return w.delivered }
 
 // Failed reports connections that failed to establish or aborted.
-func (w *Incast) Failed() int { return w.failed }
+func (w *Incast) Failed() int {
+	n := 0
+	for _, f := range w.senderFail {
+		n += f
+	}
+	return n
+}
 
 // ManyFlowConfig describes a fabric-wide mesh of independent TCP flows.
 type ManyFlowConfig struct {
@@ -171,15 +221,22 @@ type ManyFlowConfig struct {
 
 // ManyFlow is a running flow-mesh workload handle.
 type ManyFlow struct {
-	conf      ManyFlowConfig
-	hosts     []string
-	flows     int
-	delivered int
-	completed int
-	failed    int
+	conf  ManyFlowConfig
+	hosts []string
+	flows int
+	// Per-flow result slots: delivered/completed are written by the
+	// flow's destination shard, failed by its source shard. Distinct
+	// slots keep every write single-owner under sharded execution; the
+	// legacy path uses the same slots so the accessors sum identically.
+	flowDelivered []int
+	flowCompleted []int
+	flowFailed    []int
 }
 
-var _ workload = (*ManyFlow)(nil)
+var (
+	_ workload        = (*ManyFlow)(nil)
+	_ shardedWorkload = (*ManyFlow)(nil)
+)
 
 // AddManyFlow stages a mesh of independent point-to-point TCP flows over
 // random host pairs.
@@ -224,6 +281,7 @@ func (tb *Testbed) AddManyFlow(cfg ManyFlowConfig) (*ManyFlow, error) {
 }
 
 func (w *ManyFlow) start(tb *Testbed) error {
+	w.allocSlots()
 	rng := rand.New(rand.NewSource(w.conf.PairSeed))
 	n := len(w.hosts)
 	for f := 0; f < w.flows; f++ {
@@ -235,47 +293,108 @@ func (w *ManyFlow) start(tb *Testbed) error {
 		src := tb.byName[w.hosts[si]]
 		dst := tb.byName[w.hosts[di]]
 		port := w.conf.BasePort + uint16(f)
-		lst, err := dst.tcp.Listen(port)
-		if err != nil {
+		if err := w.setupFlowListener(f, dst, port); err != nil {
 			return err
 		}
-		lst.OnAccept = func(c *tcp.Conn) {
-			got := 0
-			c.OnData = func(d []byte) {
-				w.delivered += len(d)
-				before := got
-				got += len(d)
-				if before < w.conf.Bytes && got >= w.conf.Bytes {
-					w.completed++
-				}
-			}
-			c.OnClose = func() { c.Close() }
-		}
 		delay := time.Duration(f) * w.conf.Stagger
-		tb.sched.After(delay, "manyflow.connect", func() {
-			conn, err := src.tcp.Connect(port, dst.host.IP, port)
-			if err != nil {
-				w.failed++
-				return
-			}
-			conn.OnFail = func() { w.failed++ }
-			conn.OnConnected = func() {
-				conn.Send(make([]byte, w.conf.Bytes))
-				conn.Close()
-			}
-		})
+		tb.sched.After(delay, "manyflow.connect", w.connectFunc(f, src, dst, port))
 	}
 	return nil
+}
+
+func (w *ManyFlow) allocSlots() {
+	w.flowDelivered = make([]int, w.flows)
+	w.flowCompleted = make([]int, w.flows)
+	w.flowFailed = make([]int, w.flows)
+}
+
+// setupFlowListener installs flow f's listener on its destination; the
+// accept callbacks write only flow f's destination-owned slots.
+func (w *ManyFlow) setupFlowListener(f int, dst *Node, port uint16) error {
+	lst, err := dst.tcp.Listen(port)
+	if err != nil {
+		return err
+	}
+	lst.OnAccept = func(c *tcp.Conn) {
+		got := 0
+		c.OnData = func(d []byte) {
+			w.flowDelivered[f] += len(d)
+			before := got
+			got += len(d)
+			if before < w.conf.Bytes && got >= w.conf.Bytes {
+				w.flowCompleted[f]++
+			}
+		}
+		c.OnClose = func() { c.Close() }
+	}
+	return nil
+}
+
+// connectFunc returns flow f's connect-and-send closure, touching only
+// source-local TCP state and flow f's failure slot.
+func (w *ManyFlow) connectFunc(f int, src, dst *Node, port uint16) func() {
+	return func() {
+		conn, err := src.tcp.Connect(port, dst.host.IP, port)
+		if err != nil {
+			w.flowFailed[f]++
+			return
+		}
+		conn.OnFail = func() { w.flowFailed[f]++ }
+		conn.OnConnected = func() {
+			conn.Send(make([]byte, w.conf.Bytes))
+			conn.Close()
+		}
+	}
+}
+
+// parts decomposes the mesh for sharded execution: pair selection and
+// every listener registration happen at the barrier (the pair RNG is
+// seeded from PairSeed, so the flow matrix matches the legacy path);
+// each flow gets one part on its source's shard that schedules the
+// staggered connect locally.
+func (w *ManyFlow) parts(tb *Testbed) ([]workloadPart, error) {
+	w.allocSlots()
+	rng := rand.New(rand.NewSource(w.conf.PairSeed))
+	n := len(w.hosts)
+	parts := make([]workloadPart, 0, w.flows)
+	for f := 0; f < w.flows; f++ {
+		si := rng.Intn(n)
+		di := rng.Intn(n - 1)
+		if di >= si {
+			di++
+		}
+		src := tb.byName[w.hosts[si]]
+		dst := tb.byName[w.hosts[di]]
+		port := w.conf.BasePort + uint16(f)
+		if err := w.setupFlowListener(f, dst, port); err != nil {
+			return nil, err
+		}
+		delay := time.Duration(f) * w.conf.Stagger
+		connect := w.connectFunc(f, src, dst, port)
+		sched := src.host.Sched
+		parts = append(parts, workloadPart{node: src, run: func() {
+			sched.After(delay, "manyflow.connect", connect)
+		}})
+	}
+	return parts, nil
 }
 
 // Flows reports the number of staged flows.
 func (w *ManyFlow) Flows() int { return w.flows }
 
 // Completed reports flows whose full transfer arrived.
-func (w *ManyFlow) Completed() int { return w.completed }
+func (w *ManyFlow) Completed() int { return sumSlots(w.flowCompleted) }
 
 // DeliveredBytes reports total application bytes received across flows.
-func (w *ManyFlow) DeliveredBytes() int { return w.delivered }
+func (w *ManyFlow) DeliveredBytes() int { return sumSlots(w.flowDelivered) }
 
 // Failed reports flows that failed to establish or aborted.
-func (w *ManyFlow) Failed() int { return w.failed }
+func (w *ManyFlow) Failed() int { return sumSlots(w.flowFailed) }
+
+func sumSlots(slots []int) int {
+	n := 0
+	for _, v := range slots {
+		n += v
+	}
+	return n
+}
