@@ -141,6 +141,10 @@ type ConfigOverride struct {
 	// Topology replaces the single switch with a generated multi-switch
 	// fabric for this axis value.
 	Topology *TopologyOverride `json:"topology,omitempty"`
+	// TrunkFaults schedules fabric faults — trunk failure/restore/flap,
+	// latency/BER degradation, switch crash/restart — for this axis value
+	// (requires Topology). See virtualwire.Config.TopologyFaults.
+	TrunkFaults []TrunkFault `json:"trunk_faults,omitempty"`
 	// Cost overrides the engine processing-cost model.
 	Cost *virtualwire.CostModel `json:"cost,omitempty"`
 	// MetricsSampleInterval enables per-run metrics sampling.
@@ -164,6 +168,32 @@ type TopologyOverride struct {
 	TrunkMbps float64 `json:"trunk_mbps,omitempty"`
 	// WiringSeed seeds the random generator's wiring (0 = 1).
 	WiringSeed int64 `json:"wiring_seed,omitempty"`
+	// ReconvergeDelay overrides the spanning-tree reconvergence latency
+	// after a topology fault (0 = virtualwire.DefaultReconvergeDelay).
+	ReconvergeDelay Duration `json:"reconverge_delay,omitempty"`
+}
+
+// TrunkFault schedules one fabric fault (see
+// virtualwire.TopologyFaultSpec and docs/CAMPAIGNS.md, "Trunk-fault
+// axes").
+type TrunkFault struct {
+	// Kind is "trunk_down", "trunk_up", "trunk_flap", "trunk_degrade",
+	// "switch_down" or "switch_up".
+	Kind string `json:"kind"`
+	// At is the fault's virtual time.
+	At Duration `json:"at"`
+	// Trunk is the target trunk's wiring index (trunk kinds).
+	Trunk int `json:"trunk,omitempty"`
+	// Switch is the target switch index (switch kinds).
+	Switch int `json:"switch,omitempty"`
+	// Period is one full flap cycle (default 100ms).
+	Period Duration `json:"period,omitempty"`
+	// Count is the number of flap cycles (default 1).
+	Count int `json:"count,omitempty"`
+	// Propagation, when positive, is trunk_degrade's new propagation.
+	Propagation Duration `json:"propagation,omitempty"`
+	// BitErrorRate, when non-nil, is trunk_degrade's new BER.
+	BitErrorRate *float64 `json:"bit_error_rate,omitempty"`
 }
 
 // apply folds the override into cfg, validating enumerated fields.
@@ -219,6 +249,30 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 			ExtraTrunks:        o.Topology.ExtraTrunks,
 			TrunkBitsPerSecond: o.Topology.TrunkMbps * 1e6,
 			WiringSeed:         o.Topology.WiringSeed,
+			ReconvergeDelay:    o.Topology.ReconvergeDelay.D(),
+		}
+	}
+	if len(o.TrunkFaults) > 0 {
+		if cfg.Topology == nil {
+			return fmt.Errorf("campaign: trunk_faults require a topology override")
+		}
+		cfg.TopologyFaults = make([]virtualwire.TopologyFaultSpec, 0, len(o.TrunkFaults))
+		for i := range o.TrunkFaults {
+			f := &o.TrunkFaults[i]
+			kind, err := virtualwire.ParseTopologyFaultKind(f.Kind)
+			if err != nil {
+				return err
+			}
+			cfg.TopologyFaults = append(cfg.TopologyFaults, virtualwire.TopologyFaultSpec{
+				Kind:         kind,
+				At:           f.At.D(),
+				Trunk:        f.Trunk,
+				Switch:       f.Switch,
+				Period:       f.Period.D(),
+				Count:        f.Count,
+				Propagation:  f.Propagation.D(),
+				BitErrorRate: f.BitErrorRate,
+			})
 		}
 	}
 	if o.Cost != nil {

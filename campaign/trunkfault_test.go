@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// trunkFaultSpec is a scriptless ring campaign with a trunk-failure
+// axis: the first tree trunk dies mid-run, spanning-tree failover
+// promotes the ring's redundant trunk. The config label is pinned so
+// the records carry no trace of the shard count.
+func trunkFaultSpec(shards int) Spec {
+	sh := shards
+	return Spec{
+		Name:      "trunk-fault-identity",
+		Seed:      19,
+		SeedCount: 3,
+		Hosts:     24,
+		Horizon:   Duration(5 * time.Second),
+		Configs: []ConfigOverride{{
+			Label:    "ring4/kill+flap",
+			Shards:   &sh,
+			Topology: &TopologyOverride{Kind: "ring", Switches: 4},
+			TrunkFaults: []TrunkFault{
+				{Kind: "trunk_down", Trunk: 0, At: Duration(100 * time.Millisecond)},
+				{Kind: "trunk_flap", Trunk: 1, At: Duration(400 * time.Millisecond),
+					Period: Duration(150 * time.Millisecond), Count: 2},
+			},
+		}},
+		Workloads: []WorkloadSpec{{Kind: "manyflow", Flows: 12, Bytes: 2 << 10}},
+	}
+}
+
+// TestTrunkFaultAxisIdentity extends the fault surface through the
+// campaign layer: a matrix with a trunk failure/flap axis produces
+// byte-identical JSONL and summary at 1, 2 and 4 shards and at 1 vs 4
+// workers, and the summary rollup shows the failovers happening.
+func TestTrunkFaultAxisIdentity(t *testing.T) {
+	spec := trunkFaultSpec(1)
+	refSink, refSum := runToBytes(t, spec, 1)
+	if got := bytes.Count(refSink, []byte("\n")); got != spec.Runs() {
+		t.Fatalf("sink lines = %d, want %d", got, spec.Runs())
+	}
+	for _, shards := range []int{2, 4} {
+		gotSink, gotSum := runToBytes(t, trunkFaultSpec(shards), 1)
+		if !bytes.Equal(gotSink, refSink) {
+			t.Errorf("JSONL at %d shards differs from 1 shard", shards)
+		}
+		if !bytes.Equal(gotSum, refSum) {
+			t.Errorf("summary at %d shards differs from 1 shard", shards)
+		}
+	}
+	gotSink, gotSum := runToBytes(t, trunkFaultSpec(4), 4)
+	if !bytes.Equal(gotSink, refSink) {
+		t.Error("JSONL from 4 workers x 4 shards differs from serial")
+	}
+	if !bytes.Equal(gotSum, refSum) {
+		t.Error("summary from 4 workers x 4 shards differs from serial")
+	}
+
+	var sum Summary
+	if err := json.Unmarshal(refSum, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Passed != spec.Runs() {
+		t.Fatalf("passed %d/%d", sum.Passed, spec.Runs())
+	}
+	// Every run kills one tree trunk and flaps another: at least one
+	// failover per run must land in the rollup.
+	if sum.MetricsTotals["fabric/failovers"] < float64(spec.Runs()) {
+		t.Fatalf("fabric/failovers rollup = %v, want >= %d", sum.MetricsTotals["fabric/failovers"], spec.Runs())
+	}
+}
+
+// Trunk-fault validation fails fast at expand time.
+func TestTrunkFaultValidation(t *testing.T) {
+	bad := trunkFaultSpec(1)
+	bad.Configs[0].TrunkFaults[0].Kind = "melt"
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("unknown trunk fault kind accepted")
+	}
+	bad = trunkFaultSpec(1)
+	bad.Configs[0].Topology = nil
+	if _, err := Run(context.Background(), bad, Options{Workers: 1}); err == nil {
+		t.Error("trunk faults without a topology accepted")
+	}
+}

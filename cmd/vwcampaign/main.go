@@ -74,6 +74,8 @@ func run() (code int, retErr error) {
 	summaryOut := flag.String("summary-out", "", "write the summary here instead of stdout")
 	progress := flag.Bool("progress", false, "print per-run progress lines to stderr")
 	shardsFlag := flag.String("shards", "", "sharded engine for quick-flag campaigns: a shard count or auto (empty = legacy)")
+	trunkFail := flag.String("trunk-fail", "", "comma-separated trunk failures idx@at (e.g. 0@500ms; requires -topology)")
+	trunkFlap := flag.String("trunk-flap", "", "comma-separated trunk flaps idx@at:period:count (e.g. 0@500ms:200ms:3; requires -topology)")
 	var prof profiling.Flags
 	prof.Register()
 	flag.Parse()
@@ -195,6 +197,18 @@ func run() (code int, retErr error) {
 				return 1, fmt.Errorf("-manyflow: %w", err)
 			}
 			spec.Workloads = append(spec.Workloads, wl)
+		}
+		if *trunkFail != "" || *trunkFlap != "" {
+			if *topology == "" {
+				return 1, fmt.Errorf("-trunk-fail/-trunk-flap require -topology")
+			}
+			faults, err := parseTrunkFaults(*trunkFail, *trunkFlap)
+			if err != nil {
+				return 1, err
+			}
+			for i := range spec.Configs {
+				spec.Configs[i].TrunkFaults = faults
+			}
 		}
 		if *shardsFlag != "" {
 			k, err := parseShards(*shardsFlag)
@@ -332,6 +346,67 @@ func parseTopology(s string) (*campaign.TopologyOverride, error) {
 		}
 	}
 	return topo, nil
+}
+
+// parseTrunkFaults parses the -trunk-fail (idx@at) and -trunk-flap
+// (idx@at:period:count) lists into one fault schedule.
+func parseTrunkFaults(fail, flap string) ([]campaign.TrunkFault, error) {
+	var out []campaign.TrunkFault
+	split := func(item string) (int, []string, error) {
+		halves := strings.SplitN(item, "@", 2)
+		if len(halves) != 2 {
+			return 0, nil, fmt.Errorf("want idx@at[:...], got %q", item)
+		}
+		idx, err := strconv.Atoi(halves[0])
+		if err != nil {
+			return 0, nil, fmt.Errorf("%q: %w", item, err)
+		}
+		return idx, strings.Split(halves[1], ":"), nil
+	}
+	if fail != "" {
+		for _, item := range strings.Split(fail, ",") {
+			idx, parts, err := split(strings.TrimSpace(item))
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-fail: %w", err)
+			}
+			if len(parts) != 1 {
+				return nil, fmt.Errorf("-trunk-fail: want idx@at, got %q", item)
+			}
+			at, err := time.ParseDuration(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-fail: %q: %w", item, err)
+			}
+			out = append(out, campaign.TrunkFault{Kind: "trunk_down", Trunk: idx, At: campaign.Duration(at)})
+		}
+	}
+	if flap != "" {
+		for _, item := range strings.Split(flap, ",") {
+			idx, parts, err := split(strings.TrimSpace(item))
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-flap: %w", err)
+			}
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("-trunk-flap: want idx@at:period:count, got %q", item)
+			}
+			at, err := time.ParseDuration(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-flap: %q: %w", item, err)
+			}
+			period, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-flap: %q: %w", item, err)
+			}
+			count, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("-trunk-flap: %q: %w", item, err)
+			}
+			out = append(out, campaign.TrunkFault{
+				Kind: "trunk_flap", Trunk: idx,
+				At: campaign.Duration(at), Period: campaign.Duration(period), Count: count,
+			})
+		}
+	}
+	return out, nil
 }
 
 // parseCountBytes parses count:bytes into an incast/manyflow workload.

@@ -134,10 +134,25 @@ func (tb *Testbed) Reset(seed int64) error {
 		tb.sw.Reset()
 	}
 	for _, sw := range tb.fabric {
-		// Clears learned MACs and counters; trunk wiring and blocked
-		// (spanning-tree) ports are topology state and survive.
+		// Clears learned MACs, counters and fault state (down switches,
+		// failed ports, failed/degraded trunk media); trunk wiring
+		// survives. Spanning-tree blocking is restored to the build-time
+		// layout below — reconvergence may have moved it during the run.
 		sw.Reset()
 	}
+	for i := range tb.trunks {
+		tr := &tb.trunks[i]
+		tr.failed = false
+		if tb.trunkBlocked(i) == tr.inTree {
+			tb.setTrunkBlocked(i, !tr.inTree)
+		}
+		if tr.ch != nil {
+			tr.ch.SetProfile(tr.baseProp, tr.baseBER)
+		} else if tr.link != nil {
+			tr.link.SetProfile(tr.baseProp, tr.baseBER)
+		}
+	}
+	tb.resetTopoFaults()
 	if tb.bus != nil {
 		tb.bus.Reset()
 	}
@@ -169,6 +184,9 @@ func (tb *Testbed) Reset(seed int64) error {
 		}
 		tb.assignComponentRands(seed)
 		tb.shards.startPending = false
+		// Trunk fail/degrade faults moved the conservative lookahead during
+		// the discarded run; the restored fabric re-derives it.
+		tb.recomputeShardLookahead()
 	}
 	// Restart the token ring only after every member is back to zero.
 	for _, name := range tb.retherRing {

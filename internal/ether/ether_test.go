@@ -509,7 +509,7 @@ func TestSwitchBlockedTrunkBreaksLoop(t *testing.T) {
 	}
 	ConnectTrunk(sws[0], sws[1], LinkConfig{})
 	ConnectTrunk(sws[1], sws[2], LinkConfig{})
-	p2, p0 := ConnectTrunk(sws[2], sws[0], LinkConfig{})
+	_, p2, p0 := ConnectTrunk(sws[2], sws[0], LinkConfig{})
 	sws[2].SetPortBlocked(p2, true)
 	sws[0].SetPortBlocked(p0, true)
 

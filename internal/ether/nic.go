@@ -139,6 +139,31 @@ func (n *NIC) Snapshot() metrics.Snapshot {
 	return sn
 }
 
+// dropQueued discards the transmit queue (fault injection: the medium
+// died under the NIC). keepHead preserves the queue front — the frame
+// whose transmission is already in flight and will be dequeued by its
+// pending txEnd. Dropped frames count as QueueDrops, the same bucket as
+// overflow: either way the egress queue ate them.
+func (n *NIC) dropQueued(keepHead bool) int {
+	start := n.txhead
+	if keepHead && start < len(n.txq) {
+		start++
+	}
+	dropped := 0
+	for i := start; i < len(n.txq); i++ {
+		n.pool.Put(n.txq[i])
+		n.txq[i] = nil
+		dropped++
+	}
+	n.txq = n.txq[:start]
+	if n.txhead == len(n.txq) {
+		n.txq = n.txq[:0]
+		n.txhead = 0
+	}
+	n.Stats.QueueDrops += uint64(dropped)
+	return dropped
+}
+
 // head returns the frame at the front of the transmit queue without
 // removing it, or nil.
 func (n *NIC) head() *Frame {

@@ -61,6 +61,9 @@ type switchPort struct {
 	// ingress frames are discarded and floods skip it. Blocking is
 	// topology state, not run state — Reset preserves it.
 	blocked bool
+	// failed marks a dead port (trunk failure injection): like blocked,
+	// but fault state rather than spanning-tree state — Reset clears it.
+	failed bool
 }
 
 // Switch is a learning, store-and-forward Ethernet switch. Each attached
@@ -72,14 +75,30 @@ type Switch struct {
 	ports  []*switchPort
 	table  map[packet.MAC]int
 	nextID uint64
+	// down marks a crashed switch (fault injection): every ingress frame
+	// is discarded and the forwarding pipeline drops at fire time. Like
+	// port failure it is run state — Reset clears it.
+	down bool
 
-	// FloodedFrames counts frames forwarded to all ports because the
-	// destination was unknown.
+	// The four outcome counters below partition IngressFrames exactly:
+	// once the pipeline drains, IngressFrames == ForwardedFrames +
+	// FloodedFrames + BlockedFrames + DroppedFrames (each ingress frame
+	// lands in exactly one bucket).
+
+	// IngressFrames counts every frame received on any port.
+	IngressFrames uint64
+	// FloodedFrames counts ingress frames flooded because the
+	// destination was unknown (once per frame, however many copies).
 	FloodedFrames uint64
-	// ForwardedFrames counts all frames forwarded by the switch.
+	// ForwardedFrames counts ingress frames unicast out a known port.
 	ForwardedFrames uint64
-	// BlockedFrames counts frames discarded on blocked ports.
+	// BlockedFrames counts frames discarded at ingress: the ingress
+	// port was blocked or failed, or the switch was down.
 	BlockedFrames uint64
+	// DroppedFrames counts frames discarded in the forwarding path at
+	// fire time: egress blocked/failed/self, no eligible flood port, or
+	// the switch went down while the frame sat in the pipeline.
+	DroppedFrames uint64
 }
 
 // NewSwitch returns an empty switch; attach hosts with AttachHost.
@@ -131,19 +150,19 @@ func (sw *Switch) addPort(seg Medium, trunk bool) int {
 }
 
 // ConnectTrunk joins two switches with a dedicated full-duplex link and
-// returns the new port index on each. MAC learning extends across trunks
-// naturally: a frame arriving on a trunk port teaches the switch that its
-// source lives behind that trunk. Fabrics with redundant trunks (rings,
-// fat-trees) must block the non-tree links on both ends — see
-// SetPortBlocked — or floods will storm.
-func ConnectTrunk(a, b *Switch, cfg LinkConfig) (aPort, bPort int) {
+// returns the link plus the new port index on each. MAC learning extends
+// across trunks naturally: a frame arriving on a trunk port teaches the
+// switch that its source lives behind that trunk. Fabrics with redundant
+// trunks (rings, fat-trees) must block the non-tree links on both ends —
+// see SetPortBlocked — or floods will storm.
+func ConnectTrunk(a, b *Switch, cfg LinkConfig) (link *Link, aPort, bPort int) {
 	if cfg.Pool == nil {
 		cfg.Pool = a.cfg.Pool
 	}
-	link := NewLink(a.sched, cfg)
+	link = NewLink(a.sched, cfg)
 	aPort = a.addPort(link, true)
 	bPort = b.addPort(link, true)
-	return aPort, bPort
+	return link, aPort, bPort
 }
 
 // SetPortBlocked marks a port blocked (spanning-tree style): ingress
@@ -153,15 +172,53 @@ func (sw *Switch) SetPortBlocked(idx int, blocked bool) {
 	sw.ports[idx].blocked = blocked
 }
 
+// PortBlocked reports a port's spanning-tree block state.
+func (sw *Switch) PortBlocked(idx int) bool { return sw.ports[idx].blocked }
+
+// SetPortFailed marks a port dead (trunk failure injection). A failed
+// port discards ingress frames like a blocked one and is skipped by
+// forwarding; unlike blocking it is fault state and clears on Reset.
+func (sw *Switch) SetPortFailed(idx int, failed bool) {
+	sw.ports[idx].failed = failed
+}
+
+// PortFailed reports a port's failure state.
+func (sw *Switch) PortFailed(idx int) bool { return sw.ports[idx].failed }
+
+// SetDown crashes or restarts the whole switch. A down switch discards
+// every ingress frame and drops anything still in its forwarding
+// pipeline at fire time; frames already committed to egress queues
+// drain (they left the forwarding plane before the crash).
+func (sw *Switch) SetDown(down bool) {
+	sw.down = down
+	if down {
+		sw.FlushTable()
+	}
+}
+
+// Down reports whether the switch is crashed.
+func (sw *Switch) Down() bool { return sw.down }
+
+// FlushTable clears the MAC learning table (spanning-tree topology
+// change): stale entries pointing at a now-blocked port would blackhole
+// unicast traffic until relearned, so reconvergence flushes and lets
+// flooding relearn over the new tree.
+func (sw *Switch) FlushTable() {
+	for k := range sw.table {
+		delete(sw.table, k)
+	}
+}
+
 // ingress handles a frame received on port idx after full reassembly.
 // The ingress frame is owned by the switch (the segment delivered this
 // copy to the port NIC and nothing else holds it): a unicast forward
 // hands it onward without a copy, a flood clones per output port, and
 // whatever is left is recycled.
 func (sw *Switch) ingress(idx int, fr *Frame) {
-	if sw.ports[idx].blocked {
-		// Spanning-tree discard: nothing is learned or forwarded from a
-		// blocked port.
+	sw.IngressFrames++
+	if sw.down || sw.ports[idx].blocked || sw.ports[idx].failed {
+		// Spanning-tree / fault discard: nothing is learned or forwarded
+		// from a blocked, failed or crashed port.
 		sw.BlockedFrames++
 		sw.cfg.Pool.Put(fr)
 		return
@@ -169,42 +226,65 @@ func (sw *Switch) ingress(idx int, fr *Frame) {
 	src := fr.Src()
 	sw.table[src] = idx
 	dst := fr.Dst()
-	out, known := sw.table[dst]
 	sw.sched.After(sw.cfg.Latency, "switch.forward", func() {
-		if known && !dst.IsBroadcast() {
-			if out != idx && !sw.ports[out].blocked {
-				sw.ForwardedFrames++
-				sw.ports[out].nic.Send(fr)
-				return
-			}
+		// The forwarding decision is taken at fire time, not ingress
+		// time: during the store-and-forward latency the switch can
+		// crash, a trunk can fail, and a reconvergence can flush the
+		// table or re-block the learned out-port. A decision snapshotted
+		// at ingress would forward into a dead port.
+		if sw.down {
+			sw.DroppedFrames++
 			sw.cfg.Pool.Put(fr)
 			return
 		}
-		sw.FloodedFrames++
-		for i, p := range sw.ports {
-			if i == idx || p.blocked {
-				continue
+		if out, known := sw.table[dst]; known && !dst.IsBroadcast() {
+			p := sw.ports[out]
+			if out == idx || p.blocked || p.failed {
+				sw.DroppedFrames++
+				sw.cfg.Pool.Put(fr)
+				return
 			}
 			sw.ForwardedFrames++
+			p.nic.Send(fr)
+			return
+		}
+		sent := false
+		for i, p := range sw.ports {
+			if i == idx || p.blocked || p.failed {
+				continue
+			}
+			sent = true
 			p.nic.Send(sw.cfg.Pool.Clone(fr))
+		}
+		if sent {
+			sw.FloodedFrames++
+		} else {
+			// Every egress was blocked/failed: the frame went nowhere
+			// and must still be accounted for.
+			sw.DroppedFrames++
 		}
 		sw.cfg.Pool.Put(fr)
 	})
 }
 
-// Reset clears the learning table, forwarding counters and every port's
-// NIC and segment state. Port wiring (NICs, segments, MAC assignments)
-// persists, so a reset switch forwards for the same topology without
+// Reset clears the learning table, forwarding counters, fault state
+// (down, failed ports) and every port's NIC and segment state. Port
+// wiring (NICs, segments, MAC assignments) and spanning-tree blocking
+// persist, so a reset switch forwards for the same topology without
 // reconstruction. Callers reset the scheduler first, which cancels any
 // in-flight forward/deliver events.
 func (sw *Switch) Reset() {
 	for k := range sw.table {
 		delete(sw.table, k)
 	}
+	sw.IngressFrames = 0
 	sw.FloodedFrames = 0
 	sw.ForwardedFrames = 0
 	sw.BlockedFrames = 0
+	sw.DroppedFrames = 0
+	sw.down = false
 	for _, p := range sw.ports {
+		p.failed = false
 		p.nic.Reset()
 		switch seg := p.segment.(type) {
 		case *SharedBus:
@@ -251,8 +331,10 @@ func (sw *Switch) PortStats(idx int) (Stats, error) {
 // aggregate switch→host capacity spent serializing frames so far).
 func (sw *Switch) Snapshot() metrics.Snapshot {
 	var sn metrics.Snapshot
+	sn.Counter("ingress_frames", sw.IngressFrames)
 	sn.Counter("forwarded_frames", sw.ForwardedFrames)
 	sn.Counter("flooded_frames", sw.FloodedFrames)
+	sn.Counter("dropped_frames", sw.DroppedFrames)
 	var drops, txBytes uint64
 	var queued int
 	for _, p := range sw.ports {
@@ -263,7 +345,7 @@ func (sw *Switch) Snapshot() metrics.Snapshot {
 	sn.Counter("port_queue_drops", drops)
 	sn.Gauge("port_queued_frames", float64(queued))
 	sn.Gauge("ports", float64(len(sw.ports)))
-	var trunks, blocked int
+	var trunks, blocked, failed int
 	for _, p := range sw.ports {
 		if p.trunk {
 			trunks++
@@ -271,11 +353,15 @@ func (sw *Switch) Snapshot() metrics.Snapshot {
 		if p.blocked {
 			blocked++
 		}
+		if p.failed {
+			failed++
+		}
 	}
 	if trunks > 0 || blocked > 0 {
 		sn.Counter("blocked_frames", sw.BlockedFrames)
 		sn.Gauge("trunk_ports", float64(trunks))
 		sn.Gauge("blocked_ports", float64(blocked))
+		sn.Gauge("failed_ports", float64(failed))
 	}
 	now := sw.sched.Now().Seconds()
 	if now > 0 && len(sw.ports) > 0 {
@@ -314,6 +400,7 @@ type Link struct {
 	busy   [2]time.Duration // per-direction: when the current tx ends
 	active [2]bool          // per-direction: a txEnd event is pending
 	rng    *rand.Rand       // optional pinned source (see SetRand)
+	failed bool             // fault injection: no new transmissions start
 }
 
 var _ Medium = (*Link)(nil)
@@ -352,6 +439,53 @@ func (l *Link) kick(n *NIC) {
 func (l *Link) Reset() {
 	l.busy = [2]time.Duration{}
 	l.active = [2]bool{}
+	l.failed = false
+}
+
+// SetFailed fails or restores the link (trunk fault injection). Failing
+// drops every queued frame on both ends — except an in-flight head,
+// whose txEnd is already committed; its delivery still arrives and is
+// discarded at the far (failed) port — and refuses new transmissions.
+// Restoring re-kicks both directions. Returns the number of frames
+// dropped (counted in the owning NICs' QueueDrops).
+func (l *Link) SetFailed(failed bool) int {
+	if l.failed == failed {
+		return 0
+	}
+	l.failed = failed
+	dropped := 0
+	if failed {
+		for dir, n := range l.ends {
+			dropped += n.dropQueued(l.active[dir])
+		}
+		return dropped
+	}
+	for dir := range l.ends {
+		l.pump(dir)
+	}
+	return 0
+}
+
+// Failed reports the link's fault state.
+func (l *Link) Failed() bool { return l.failed }
+
+// SetProfile overrides the link's propagation delay and bit error rate
+// in place (per-trunk degradation axis). Zero propagation keeps the
+// current value; a negative BER keeps the current rate, so BER can be
+// restored to a clean 0. The new profile applies from the next
+// transmission's end (propagation and BER are read at txEnd).
+func (l *Link) SetProfile(propagation time.Duration, ber float64) {
+	if propagation > 0 {
+		l.cfg.Propagation = propagation
+	}
+	if ber >= 0 {
+		l.cfg.BitErrorRate = ber
+	}
+}
+
+// Profile reports the link's current propagation delay and BER.
+func (l *Link) Profile() (time.Duration, float64) {
+	return l.cfg.Propagation, l.cfg.BitErrorRate
 }
 
 // SetRand pins the bit-error random source. When unset, draws come from
@@ -378,6 +512,11 @@ func (l *Link) dirOf(n *NIC) int {
 
 // pump transmits queued frames in the given direction, one at a time.
 func (l *Link) pump(dir int) {
+	if l.failed {
+		// A dead wire starts nothing new; queued frames were dropped by
+		// SetFailed and restore re-kicks.
+		return
+	}
 	src := l.ends[dir]
 	fr := src.head()
 	if fr == nil {

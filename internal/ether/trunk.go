@@ -46,6 +46,7 @@ type trunkHalf struct {
 
 	busyUntil time.Duration
 	active    bool // a txEnd event is pending
+	failed    bool // fault injection: no new transmissions start
 	outbox    []trunkDeposit
 }
 
@@ -69,6 +70,11 @@ func (h *trunkHalf) rand() *rand.Rand {
 // pump mirrors Link.pump, minus direct delivery: the finished copy goes
 // to the outbox with its arrival timestamp.
 func (h *trunkHalf) pump() {
+	if h.failed {
+		// A dead wire starts nothing new; queued frames were dropped by
+		// SetFailed and restore re-kicks.
+		return
+	}
 	fr := h.src.head()
 	if fr == nil {
 		return
@@ -128,6 +134,7 @@ func (h *trunkHalf) drain() {
 func (h *trunkHalf) reset() {
 	h.busyUntil = 0
 	h.active = false
+	h.failed = false
 	for i, d := range h.outbox {
 		h.cfg.Pool.Put(d.fr)
 		h.outbox[i] = trunkDeposit{}
@@ -218,4 +225,56 @@ func (h *trunkHalf) lookahead() time.Duration {
 // (tests use it to assert mailboxes drain empty across Reset).
 func (t *TrunkChannel) PendingDeposits() int {
 	return len(t.ab.outbox) + len(t.ba.outbox)
+}
+
+// SetFailed fails or restores the trunk (fault injection), both
+// directions at once. Failing drops every queued frame on both source
+// NICs — except in-flight heads, whose committed txEnd still deposits;
+// the delivery is discarded at the far (failed) switch port — and
+// refuses new transmissions. Restoring re-kicks both pumps. Returns the
+// number of frames dropped (counted in the port NICs' QueueDrops).
+//
+// Only the sharded coordinator calls this, at a window barrier with all
+// shards parked, so touching both halves' source-side state is safe.
+func (t *TrunkChannel) SetFailed(failed bool) int {
+	dropped := 0
+	for _, h := range []*trunkHalf{t.ab, t.ba} {
+		if h.failed == failed {
+			continue
+		}
+		h.failed = failed
+		if failed {
+			if h.src != nil {
+				dropped += h.src.dropQueued(h.active)
+			}
+		} else {
+			h.pump()
+		}
+	}
+	return dropped
+}
+
+// Failed reports the trunk's fault state.
+func (t *TrunkChannel) Failed() bool { return t.ab.failed || t.ba.failed }
+
+// SetProfile overrides both directions' propagation delay and bit error
+// rate in place (per-trunk degradation axis). Zero propagation keeps
+// the current value; a negative BER keeps the current rate. Applies
+// from the next txEnd; callers re-derive the shard lookahead after a
+// propagation change.
+func (t *TrunkChannel) SetProfile(propagation time.Duration, ber float64) {
+	for _, h := range []*trunkHalf{t.ab, t.ba} {
+		if propagation > 0 {
+			h.cfg.Propagation = propagation
+		}
+		if ber >= 0 {
+			h.cfg.BitErrorRate = ber
+		}
+	}
+}
+
+// Profile reports the trunk's current propagation delay and BER (the
+// A→B direction; both directions always carry the same profile).
+func (t *TrunkChannel) Profile() (time.Duration, float64) {
+	return t.ab.cfg.Propagation, t.ab.cfg.BitErrorRate
 }

@@ -52,6 +52,60 @@ if ! cmp -s "$SHARD_A" "$SHARD_B"; then
 fi
 echo "sharded identity smoke: 1-shard and 4-shard records identical"
 
+echo "== fabric failover smoke =="
+# The fabric fault surface end to end through the real CLI: a 4-switch
+# ring loses its first tree trunk 5ms in, mid-ManyFlow. Spanning-tree
+# failover must promote the redundant trunk (fabric/failovers >= 1 per
+# run), every flow must still complete over the new tree (goodput
+# recovers: received == sent in every record), and the 4-shard/4-worker
+# run must be byte-identical to the serial one with the fault axis on.
+FAIL_A="$(mktemp)"
+FAIL_B="$(mktemp)"
+FAIL_SUM="$(mktemp)"
+trap 'rm -f "$SHARD_A" "$SHARD_B" "$FAIL_A" "$FAIL_B" "$FAIL_SUM"' EXIT
+go run ./cmd/vwcampaign \
+    -hosts 24 -topology ring:4 -manyflow 12:65536 \
+    -trunk-fail 0@5ms \
+    -seeds 2 -horizon 10s -workers 1 -summary json -summary-out "$FAIL_SUM" \
+    -shards 1 -out "$FAIL_A"
+go run ./cmd/vwcampaign \
+    -hosts 24 -topology ring:4 -manyflow 12:65536 \
+    -trunk-fail 0@5ms \
+    -seeds 2 -horizon 10s -workers 4 -summary none \
+    -shards 4 -out "$FAIL_B"
+if ! cmp -s "$FAIL_A" "$FAIL_B"; then
+    echo "failover smoke: 4-shard/4-worker JSONL differs from serial with trunk fault" >&2
+    diff "$FAIL_A" "$FAIL_B" >&2 || true
+    exit 1
+fi
+if grep -q '"received"' "$FAIL_A" && grep -v '"sent":12,"received":12' "$FAIL_A" | grep -q '"received"'; then
+    echo "failover smoke: flows did not all complete after trunk death" >&2
+    grep -o '"sent":[0-9]*,"received":[0-9]*' "$FAIL_A" >&2 || true
+    exit 1
+fi
+FAILOVERS="$(grep -o '"fabric/failovers": *[0-9][0-9.e+]*' "$FAIL_SUM" | awk -F: '{ print $2 + 0 }')"
+if [ -z "$FAILOVERS" ] || ! awk -v f="$FAILOVERS" 'BEGIN { exit !(f >= 2) }'; then
+    echo "failover smoke: fabric/failovers = ${FAILOVERS:-missing}, want >= 2 (one per run)" >&2
+    exit 1
+fi
+echo "failover smoke: records identical across shards/workers, flows complete, failovers = $FAILOVERS"
+
+echo "== reconvergence time gate =="
+# Reconvergence cost regression: total reconvergence time across the
+# smoke's runs must stay within 2ms per failover (the default delay is
+# 1ms; the bound catches coalescing or scheduling regressions that
+# silently stretch the blackhole window).
+RECONV_NS="$(grep -o '"fabric/reconverge_ns_total": *[0-9][0-9.e+]*' "$FAIL_SUM" | awk -F: '{ print $2 + 0 }')"
+if [ -z "$RECONV_NS" ]; then
+    echo "reconvergence gate: fabric/reconverge_ns_total missing from summary" >&2
+    exit 1
+fi
+if ! awk -v ns="$RECONV_NS" -v f="$FAILOVERS" 'BEGIN { exit !(ns <= f * 2000000) }'; then
+    echo "reconvergence time regressed: $RECONV_NS ns across $FAILOVERS failovers (limit 2ms each)" >&2
+    exit 1
+fi
+echo "reconvergence time: $RECONV_NS ns across $FAILOVERS failovers (limit 2ms each)"
+
 echo "== sharded speedup gate =="
 # On a multi-core machine, four shards must actually buy wall-clock:
 # the 1000-host fat-tree benchmark at 4 shards is gated at >= 1.8x the

@@ -277,13 +277,7 @@ func (tb *Testbed) finishShardBuild() {
 	if tb.shards == nil {
 		tb.initShardRuntime(1)
 	}
-	sr := tb.shards
-	sr.lookahead = 0
-	for _, ch := range sr.channels {
-		if la := ch.Lookahead(); sr.lookahead == 0 || la < sr.lookahead {
-			sr.lookahead = la
-		}
-	}
+	tb.recomputeShardLookahead()
 	tb.assignComponentRands(tb.cfg.Seed)
 }
 
@@ -374,8 +368,14 @@ func (tb *Testbed) runWindowed(ctx context.Context, deadline time.Duration) (err
 		m, ok := sr.set.PeekMin()
 		if !ok {
 			// Every queue is empty and (since deposits are drained into
-			// queues at each barrier) no frame is in flight: nothing can
-			// ever happen again. Idle time still passes.
+			// queues at each barrier) no frame is in flight. Topology
+			// faults due within the horizon still apply — they mutate
+			// fabric state (and journal) even with no traffic, and a
+			// restore could in principle re-arm activity, so re-enter the
+			// loop after applying any.
+			if tb.applyTopoFaultsUpTo(deadline) {
+				continue
+			}
 			for _, s := range sr.scheds {
 				if err := s.RunWindow(0, deadline); err != nil {
 					return nil, err
@@ -383,14 +383,38 @@ func (tb *Testbed) runWindowed(ctx context.Context, deadline time.Duration) (err
 			}
 			return nil, nil
 		}
+		// Apply topology faults due at or before the window floor, with
+		// every shard parked. Applying before the bound computation
+		// matters: a fault can change the live-trunk set and with it the
+		// lookahead below.
+		tb.applyTopoFaultsUpTo(m)
 		end := m + shardWindowCap
 		if sr.lookahead > 0 {
 			if la := m + sr.lookahead; la < end {
 				end = la
 			}
+		}
+		// The in-flight-arrival bound applies whenever trunks exist, not
+		// only when lookahead is positive: with every trunk failed the
+		// lookahead is zero, yet frames committed before the failure are
+		// still propagating and must be delivered before any event at or
+		// after their arrival runs.
+		if len(sr.channels) > 0 {
 			if t, ok := sr.earliestTrunk(); ok && t < end {
 				end = t
 			}
+		}
+		// Never let a window cross the next fault or reconvergence time:
+		// the live-trunk set (and lookahead) must be constant within a
+		// window for the bound to hold — and for shard-count invariance.
+		if bt, ok := tb.nextTopoBoundary(); ok && bt < end {
+			end = bt
+		}
+		if end <= m {
+			// Unreachable in practice (every bound above is provably > m),
+			// but a stall here would loop forever; the clamp is computed
+			// from the same global quantities, so it stays shard-invariant.
+			end = m + 1
 		}
 		past := end > deadline
 		if past {

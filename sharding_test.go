@@ -200,8 +200,8 @@ func TestShardedResetKeepsTopologyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := reportBytes(t, first)
-	if tb.fabricBlocked != 1 {
-		t.Fatalf("ring blocked trunks = %d, want 1", tb.fabricBlocked)
+	if tb.blockedTrunks() != 1 {
+		t.Fatalf("ring blocked trunks = %d, want 1", tb.blockedTrunks())
 	}
 	for cycle := 0; cycle < 3; cycle++ {
 		if allocs := testing.AllocsPerRun(5, func() {
@@ -211,8 +211,8 @@ func TestShardedResetKeepsTopologyState(t *testing.T) {
 		}); allocs != 0 {
 			t.Fatalf("cycle %d: sharded Reset allocates %.0f objects per run, want 0", cycle, allocs)
 		}
-		if tb.fabricBlocked != 1 {
-			t.Fatalf("cycle %d: blocked trunk count changed to %d", cycle, tb.fabricBlocked)
+		if tb.blockedTrunks() != 1 {
+			t.Fatalf("cycle %d: blocked trunk count changed to %d", cycle, tb.blockedTrunks())
 		}
 		for i, ch := range tb.shards.channels {
 			if n := ch.PendingDeposits(); n != 0 {

@@ -1,0 +1,308 @@
+package virtualwire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// faultJournalKinds collects the fabric entries of a run's fault journal
+// by kind.
+func faultJournalKinds(rep RunReport) map[string]int {
+	kinds := make(map[string]int)
+	for _, f := range rep.Faults {
+		if f.Node == "fabric" {
+			kinds[f.Kind]++
+		}
+	}
+	return kinds
+}
+
+// TestTrunkFailoverReconverges kills the ring's first tree trunk
+// mid-run and checks STP-style failover: the redundant blocked trunk
+// (trunk 2 on a 4-switch ring) unblocks after the reconvergence delay,
+// the failover is counted and journaled, and traffic completes over the
+// new tree.
+func TestTrunkFailoverReconverges(t *testing.T) {
+	tb, err := New(Config{
+		Seed:     7,
+		Topology: &TopologySpec{Kind: TopoRing, Switches: 4},
+		TopologyFaults: []TopologyFaultSpec{
+			{Kind: TrunkDown, Trunk: 0, At: 100 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, 24)
+	mf, err := tb.AddManyFlow(ManyFlowConfig{Flows: 12, Bytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Completed() != mf.Flows() {
+		t.Fatalf("flows completed %d/%d after failover (failed %d)", mf.Completed(), mf.Flows(), mf.Failed())
+	}
+	if got := rep.Metrics.Totals["fabric/failovers"]; got < 1 {
+		t.Fatalf("fabric/failovers = %v, want >= 1", got)
+	}
+	if got := rep.Metrics.Totals["fabric/reconverge_ns_total"]; got != float64(DefaultReconvergeDelay) {
+		t.Fatalf("fabric/reconverge_ns_total = %v, want %v", got, float64(DefaultReconvergeDelay))
+	}
+	st0, err := tb.TrunkStatus(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st0.Failed || !st0.Blocked {
+		t.Fatalf("trunk 0 after kill: %+v, want failed and blocked", st0)
+	}
+	st2, err := tb.TrunkStatus(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Blocked || st2.InTree {
+		t.Fatalf("redundant trunk 2 after failover: %+v, want a promoted non-tree trunk", st2)
+	}
+	kinds := faultJournalKinds(rep)
+	if kinds["trunk_down"] != 1 || kinds["reconverge"] != 1 {
+		t.Fatalf("fabric journal = %v, want one trunk_down and one reconverge", kinds)
+	}
+}
+
+// TestTrunkFailbackRestores restores the killed trunk and checks the
+// second reconvergence returns the fabric to the build-time tree: the
+// restored trunk forwards again, the redundant trunk re-blocks.
+func TestTrunkFailbackRestores(t *testing.T) {
+	tb, err := New(Config{
+		Seed:     7,
+		Topology: &TopologySpec{Kind: TopoRing, Switches: 4},
+		TopologyFaults: []TopologyFaultSpec{
+			{Kind: TrunkDown, Trunk: 0, At: 100 * time.Millisecond},
+			{Kind: TrunkUp, Trunk: 0, At: 300 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, 24)
+	if _, err := tb.AddManyFlow(ManyFlowConfig{Flows: 12, Bytes: 2 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Metrics.Totals["fabric/failovers"]; got != 2 {
+		t.Fatalf("fabric/failovers = %v, want 2 (failover + failback)", got)
+	}
+	st0, _ := tb.TrunkStatus(0)
+	if st0.Failed || st0.Blocked {
+		t.Fatalf("trunk 0 after failback: %+v, want forwarding", st0)
+	}
+	st2, _ := tb.TrunkStatus(2)
+	if !st2.Blocked {
+		t.Fatalf("redundant trunk 2 after failback: %+v, want re-blocked", st2)
+	}
+}
+
+// TestSwitchCrashRestartReconverges crashes a ring switch and restarts
+// it: both transitions are journaled, the restart re-admits the switch
+// via reconvergence, and no switch stays down at the end of the run.
+func TestSwitchCrashRestartReconverges(t *testing.T) {
+	tb, err := New(Config{
+		Seed:     11,
+		Topology: &TopologySpec{Kind: TopoRing, Switches: 4},
+		TopologyFaults: []TopologyFaultSpec{
+			// Early enough to catch the ManyFlow mesh in flight: the 2KB
+			// flows complete within tens of milliseconds.
+			{Kind: SwitchDown, Switch: 3, At: 2 * time.Millisecond},
+			{Kind: SwitchUp, Switch: 3, At: 300 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addGroupHosts(t, tb, 24)
+	// Large enough flows that transfers are still in flight at the crash.
+	if _, err := tb.AddManyFlow(ManyFlowConfig{Flows: 12, Bytes: 64 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tb.Run(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := faultJournalKinds(rep)
+	if kinds["switch_down"] != 1 || kinds["switch_up"] != 1 {
+		t.Fatalf("fabric journal = %v, want one switch_down and one switch_up", kinds)
+	}
+	if got := rep.Metrics.Totals["fabric/failovers"]; got < 1 {
+		t.Fatalf("fabric/failovers = %v, want >= 1", got)
+	}
+	if down := rep.Metrics.Totals["fabric/blocked_frames"]; down == 0 {
+		t.Fatal("a crashed switch discarded no ingress frames")
+	}
+}
+
+// topoFaultIdentityCases are the (fabric, fault schedule) shapes the
+// shard-identity property sweeps: a tree-trunk kill with failover on the
+// ring, a kill plus a flapping redundant trunk, and a fat-tree uplink
+// kill with multipath redundancy.
+var topoFaultIdentityCases = []struct {
+	name   string
+	spec   TopologySpec
+	hosts  int
+	faults []TopologyFaultSpec
+}{
+	{
+		"ring-kill", TopologySpec{Kind: TopoRing, Switches: 4}, 24,
+		[]TopologyFaultSpec{{Kind: TrunkDown, Trunk: 0, At: 100 * time.Millisecond}},
+	},
+	{
+		"ring-kill-flap", TopologySpec{Kind: TopoRing, Switches: 4}, 24,
+		[]TopologyFaultSpec{
+			{Kind: TrunkDown, Trunk: 1, At: 80 * time.Millisecond},
+			{Kind: TrunkFlap, Trunk: 3, At: 200 * time.Millisecond, Period: 100 * time.Millisecond, Count: 3},
+		},
+	},
+	{
+		"fattree-kill-degrade", TopologySpec{Kind: TopoFatTree, FatTreeK: 4}, 16,
+		[]TopologyFaultSpec{
+			{Kind: TrunkDown, Trunk: 0, At: 100 * time.Millisecond},
+			{Kind: TrunkDegrade, Trunk: 2, At: 150 * time.Millisecond, Propagation: 20 * time.Microsecond},
+		},
+	},
+}
+
+// TestTopologyFaultShardIdentity is the tentpole property for the fault
+// surface: a run with trunk kills, flaps and degradations produces
+// byte-identical reports at 1, 2 and 4 shards. Faults apply at window
+// barriers and windows never cross a fault time, so the fault schedule
+// is as partition-independent as the traffic itself.
+func TestTopologyFaultShardIdentity(t *testing.T) {
+	for _, tc := range topoFaultIdentityCases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards int) []byte {
+				topo := tc.spec
+				tb, err := New(Config{
+					Seed:           13,
+					Shards:         shards,
+					Topology:       &topo,
+					TopologyFaults: tc.faults,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addGroupHosts(t, tb, tc.hosts)
+				if _, err := tb.AddManyFlow(ManyFlowConfig{Flows: tc.hosts / 2, Bytes: 2 << 10}); err != nil {
+					t.Fatal(err)
+				}
+				rep, err := tb.Run(3 * time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return reportBytes(t, rep)
+			}
+			serial := run(1)
+			for _, shards := range []int{2, 4} {
+				if got := run(shards); !bytes.Equal(got, serial) {
+					t.Fatalf("%d-shard faulted report diverges from serial\nserial:\n%s\nsharded:\n%s",
+						shards, serial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestTopologyFaultResetMatchesFresh extends the reset-vs-fresh identity
+// to faulted fabrics: after a run that killed and flapped trunks, Reset
+// must restore the build-time tree, clear fault state, re-arm the fault
+// schedule, and reproduce a fresh testbed's bytes — in both engines.
+func TestTopologyFaultResetMatchesFresh(t *testing.T) {
+	faults := []TopologyFaultSpec{
+		{Kind: TrunkDown, Trunk: 0, At: 100 * time.Millisecond},
+		{Kind: TrunkFlap, Trunk: 1, At: 300 * time.Millisecond, Period: 120 * time.Millisecond, Count: 2},
+		{Kind: TrunkDegrade, Trunk: 3, At: 150 * time.Millisecond, Propagation: 30 * time.Microsecond},
+	}
+	for _, shards := range []int{0, 2} {
+		build := func() *Testbed {
+			topo := TopologySpec{Kind: TopoRing, Switches: 4}
+			tb, err := New(Config{
+				Seed:           17,
+				Shards:         shards,
+				Topology:       &topo,
+				TopologyFaults: faults,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addGroupHosts(t, tb, 24)
+			return tb
+		}
+		runOnce := func(tb *Testbed) []byte {
+			if _, err := tb.AddManyFlow(ManyFlowConfig{Flows: 12, Bytes: 2 << 10}); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := tb.Run(2 * time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return reportBytes(t, rep)
+		}
+		tb := build()
+		first := runOnce(tb)
+		if err := tb.Reset(17); err != nil {
+			t.Fatal(err)
+		}
+		st0, _ := tb.TrunkStatus(0)
+		if st0.Failed || st0.Blocked {
+			t.Fatalf("shards=%d: trunk 0 after Reset: %+v, want pristine forwarding", shards, st0)
+		}
+		st3, _ := tb.TrunkStatus(3)
+		if st3.Propagation != 0 && st3.Propagation == 30*time.Microsecond {
+			t.Fatalf("shards=%d: trunk 3 kept degraded propagation across Reset", shards)
+		}
+		reset := runOnce(tb)
+		if !bytes.Equal(first, reset) {
+			t.Fatalf("shards=%d: reset faulted run diverges from first\nfirst:\n%s\nreset:\n%s", shards, first, reset)
+		}
+		fresh := runOnce(build())
+		if !bytes.Equal(first, fresh) {
+			t.Fatalf("shards=%d: fresh faulted run diverges from first", shards)
+		}
+	}
+}
+
+// TestTopologyFaultValidation covers the staging errors: faults without
+// a fabric, out-of-range targets, and empty degrades.
+func TestTopologyFaultValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		topo   *TopologySpec
+		faults []TopologyFaultSpec
+	}{
+		{"no-fabric", nil, []TopologyFaultSpec{{Kind: TrunkDown, Trunk: 0, At: time.Millisecond}}},
+		{"bad-trunk", &TopologySpec{Kind: TopoRing, Switches: 4},
+			[]TopologyFaultSpec{{Kind: TrunkDown, Trunk: 99, At: time.Millisecond}}},
+		{"bad-switch", &TopologySpec{Kind: TopoRing, Switches: 4},
+			[]TopologyFaultSpec{{Kind: SwitchDown, Switch: -1, At: time.Millisecond}}},
+		{"empty-degrade", &TopologySpec{Kind: TopoRing, Switches: 4},
+			[]TopologyFaultSpec{{Kind: TrunkDegrade, Trunk: 0, At: time.Millisecond}}},
+		{"negative-at", &TopologySpec{Kind: TopoRing, Switches: 4},
+			[]TopologyFaultSpec{{Kind: TrunkDown, Trunk: 0, At: -time.Millisecond}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, err := New(Config{Seed: 1, Topology: tc.topo, TopologyFaults: tc.faults})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addGroupHosts(t, tb, 8)
+			if _, err := tb.Run(10 * time.Millisecond); err == nil {
+				t.Fatal("faulted build succeeded, want staging error")
+			}
+		})
+	}
+}

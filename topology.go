@@ -103,7 +103,19 @@ type TopologySpec struct {
 	// is deliberately separate from Config.Seed: run seeds vary per
 	// campaign point, wiring must not.
 	WiringSeed int64
+	// ReconvergeDelay is the spanning-tree reconvergence latency: how
+	// long after a topology change (trunk failure/restore, switch
+	// crash/restart) the fabric recomputes its tree, unblocks the best
+	// redundant trunk and flushes stale MAC entries. 0 selects
+	// DefaultReconvergeDelay. See Config.TopologyFaults.
+	ReconvergeDelay time.Duration
 }
+
+// DefaultReconvergeDelay is the spanning-tree reconvergence latency when
+// TopologySpec.ReconvergeDelay is zero: far faster than real 802.1D
+// (tens of seconds) but long enough that traffic observably blackholes
+// between a trunk death and failover.
+const DefaultReconvergeDelay = time.Millisecond
 
 // topologyActive reports whether build() must wire a fabric instead of
 // the single pre-created medium.
@@ -113,6 +125,52 @@ func (tb *Testbed) topologyActive() bool {
 
 // trunkWire is one generated inter-switch link (switch indices).
 type trunkWire struct{ a, b int }
+
+// fabricTrunk is one built inter-switch link: its wiring, the port index
+// on each end switch, the medium handle (link in the legacy engine,
+// mailbox channel in the sharded one) and its fault state. Unlike the
+// original count-only bookkeeping, trunks persist so the topology fault
+// engine can fail, restore and degrade them at runtime.
+type fabricTrunk struct {
+	wire   trunkWire
+	pa, pb int // port index on switch wire.a / wire.b
+	// inTree marks membership in the build-time spanning tree (the
+	// pristine blocked/forwarding layout Reset restores).
+	inTree bool
+	link   *ether.Link         // legacy engine medium (nil when sharded)
+	ch     *ether.TrunkChannel // sharded medium (nil in legacy mode)
+	// baseProp/baseBER are the built profile, restored by Reset after
+	// degrade faults.
+	baseProp time.Duration
+	baseBER  float64
+	failed   bool
+}
+
+// blocked reports the trunk's live spanning-tree state (both end ports
+// are always blocked/unblocked together).
+func (tb *Testbed) trunkBlocked(i int) bool {
+	t := &tb.trunks[i]
+	return tb.fabric[t.wire.a].PortBlocked(t.pa)
+}
+
+// blockedTrunks counts trunks currently blocked — live state, unlike
+// the build-time constant the blocked_trunks gauge used to report.
+func (tb *Testbed) blockedTrunks() int {
+	n := 0
+	for i := range tb.trunks {
+		if tb.trunkBlocked(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// setTrunkBlocked blocks or unblocks a trunk on both ends.
+func (tb *Testbed) setTrunkBlocked(i int, blocked bool) {
+	t := &tb.trunks[i]
+	tb.fabric[t.wire.a].SetPortBlocked(t.pa, blocked)
+	tb.fabric[t.wire.b].SetPortBlocked(t.pb, blocked)
+}
 
 // fabricPlan is a generated wiring: switch count, trunks in wiring
 // order, and the host-bearing (edge) switches.
@@ -245,6 +303,10 @@ func (tb *Testbed) buildFabric() error {
 	if trunkProp <= 0 {
 		trunkProp = tb.cfg.Propagation
 	}
+	tb.topo.delay = DefaultReconvergeDelay
+	if spec.ReconvergeDelay > 0 {
+		tb.topo.delay = spec.ReconvergeDelay
+	}
 	// Shard planning (sharded mode only): every switch — and with it the
 	// hosts it serves — is assigned to one shard before anything is
 	// wired, so each switch is constructed directly on its shard's
@@ -270,21 +332,17 @@ func (tb *Testbed) buildFabric() error {
 			ID:            i,
 		})
 	}
-	type trunkPorts struct {
-		wire   trunkWire
-		pa, pb int
-	}
-	ports := make([]trunkPorts, len(plan.trunks))
-	adj := make([][]int, plan.switches) // trunk indices per switch
+	tb.trunks = make([]fabricTrunk, len(plan.trunks))
+	tb.fabricAdj = make([][]int, plan.switches) // trunk indices per switch
 	for ti, w := range plan.trunks {
-		var pa, pb int
+		tr := &tb.trunks[ti]
+		tr.wire = w
 		if tb.shardMode() {
 			// Every trunk becomes a mailbox channel regardless of whether
 			// its ends share a shard: the windowed engine's behavior must
 			// not depend on the partition, or shard counts would produce
 			// different outputs.
-			var ch *ether.TrunkChannel
-			ch, pa, pb = ether.ConnectTrunkChannel(tb.fabric[w.a], tb.fabric[w.b],
+			tr.ch, tr.pa, tr.pb = ether.ConnectTrunkChannel(tb.fabric[w.a], tb.fabric[w.b],
 				ether.LinkConfig{
 					BitsPerSecond: trunkRate,
 					Propagation:   trunkProp,
@@ -297,52 +355,56 @@ func (tb *Testbed) buildFabric() error {
 					BitErrorRate:  tb.cfg.BitErrorRate,
 					Pool:          tb.shardPool(shardOf[w.b]),
 				})
-			tb.shards.channels = append(tb.shards.channels, ch)
+			tb.shards.channels = append(tb.shards.channels, tr.ch)
 		} else {
-			pa, pb = ether.ConnectTrunk(tb.fabric[w.a], tb.fabric[w.b], ether.LinkConfig{
+			tr.link, tr.pa, tr.pb = ether.ConnectTrunk(tb.fabric[w.a], tb.fabric[w.b], ether.LinkConfig{
 				BitsPerSecond: trunkRate,
 				Propagation:   trunkProp,
 				BitErrorRate:  tb.cfg.BitErrorRate,
 				Pool:          tb.pool,
 			})
 		}
-		ports[ti] = trunkPorts{w, pa, pb}
-		adj[w.a] = append(adj[w.a], ti)
-		adj[w.b] = append(adj[w.b], ti)
+		// The base profile Reset restores after degrade faults is read back
+		// from the built medium (post-default-fill), not from the spec: a
+		// zero spec propagation means "LinkConfig default", and restoring a
+		// raw zero would keep the degraded value instead.
+		if tr.ch != nil {
+			tr.baseProp, tr.baseBER = tr.ch.Profile()
+		} else {
+			tr.baseProp, tr.baseBER = tr.link.Profile()
+		}
+		tb.fabricAdj[w.a] = append(tb.fabricAdj[w.a], ti)
+		tb.fabricAdj[w.b] = append(tb.fabricAdj[w.b], ti)
 	}
 	// Static spanning tree: BFS from switch 0 over trunks in wiring
 	// order; every trunk not used for a first discovery is blocked on
-	// both ends.
-	inTree := make([]bool, len(plan.trunks))
-	visited := make([]bool, plan.switches)
-	visited[0] = true
-	queue := []int{0}
-	for len(queue) > 0 {
-		s := queue[0]
-		queue = queue[1:]
-		for _, ti := range adj[s] {
-			w := plan.trunks[ti]
-			other := w.a + w.b - s
-			if !visited[other] {
-				visited[other] = true
-				inTree[ti] = true
-				queue = append(queue, other)
-			}
-		}
-	}
-	for i, v := range visited {
+	// both ends. The same routine recomputes the tree after topology
+	// faults (spanningForest), where it reproduces this exact layout
+	// whenever every trunk and switch is alive.
+	tb.forestTree = make([]bool, len(plan.trunks))
+	tb.forestVisited = make([]bool, plan.switches)
+	tb.forestQueue = make([]int, 0, plan.switches)
+	tb.spanningForest()
+	for i, v := range tb.forestVisited {
 		if !v {
 			return fmt.Errorf("virtualwire: topology %v left switch %d disconnected", spec.Kind, i)
 		}
 	}
-	tb.fabricTrunks = len(plan.trunks)
-	for ti, tp := range ports {
-		if inTree[ti] {
-			continue
+	for ti := range tb.trunks {
+		tb.trunks[ti].inTree = tb.forestTree[ti]
+		if !tb.forestTree[ti] {
+			tb.setTrunkBlocked(ti, true)
 		}
-		tb.fabric[tp.wire.a].SetPortBlocked(tp.pa, true)
-		tb.fabric[tp.wire.b].SetPortBlocked(tp.pb, true)
-		tb.fabricBlocked++
+	}
+	// Per-trunk state gauges stay readable on small fabrics; a 320-switch
+	// fat-tree would bloat every RunReport, so they gate off above
+	// trunkStateGaugeMax. Names are interned once here — fabricSnapshot
+	// runs on report assembly and must not format strings per gather.
+	if len(tb.trunks) <= trunkStateGaugeMax {
+		tb.trunkStateNames = make([]string, len(tb.trunks))
+		for i := range tb.trunks {
+			tb.trunkStateNames[i] = fmt.Sprintf("trunk%02d_state", i)
+		}
 	}
 	for i, n := range tb.nodes {
 		edge := plan.edges[i%len(plan.edges)]
@@ -453,30 +515,152 @@ func planShards(plan fabricPlan, hostsPer []int, k int) []int {
 	return shard
 }
 
+// spanningForest recomputes the BFS spanning forest over the live
+// fabric into tb.forestTree/forestVisited: roots are the lowest-index
+// up-switches of each component, adjacency is walked in trunk wiring
+// order, and failed trunks and down switches are excluded. With every
+// trunk and switch alive it reproduces the build-time tree exactly
+// (BFS from switch 0 in wiring order), so Reset and reconvergence agree
+// on the pristine layout. Scratch buffers are reused: no allocation.
+func (tb *Testbed) spanningForest() {
+	for i := range tb.forestTree {
+		tb.forestTree[i] = false
+	}
+	for i := range tb.forestVisited {
+		tb.forestVisited[i] = false
+	}
+	queue := tb.forestQueue[:0]
+	for root := range tb.fabric {
+		if tb.forestVisited[root] || tb.fabric[root].Down() {
+			continue
+		}
+		tb.forestVisited[root] = true
+		queue = append(queue, root)
+		for qi := 0; qi < len(queue); qi++ {
+			s := queue[qi]
+			for _, ti := range tb.fabricAdj[s] {
+				tr := &tb.trunks[ti]
+				if tr.failed {
+					continue
+				}
+				other := tr.wire.a + tr.wire.b - s
+				if tb.forestVisited[other] || tb.fabric[other].Down() {
+					continue
+				}
+				tb.forestVisited[other] = true
+				tb.forestTree[ti] = true
+				queue = append(queue, other)
+			}
+		}
+		queue = queue[:0]
+	}
+	tb.forestQueue = queue
+}
+
+// trunkStateGaugeMax bounds the fabrics that emit per-trunk state
+// gauges (larger fabrics would bloat every report).
+const trunkStateGaugeMax = 64
+
+// Per-trunk gauge state encoding.
+const (
+	trunkStateForwarding = 0
+	trunkStateBlocked    = 1
+	trunkStateFailed     = 2
+)
+
 // fabricSnapshot aggregates the fabric's switches into one metrics
 // source ("testbed"/"fabric"): per-switch sources at 320 switches would
 // bloat every RunReport, and fabric-wide totals are what campaigns
-// compare.
+// compare. Alongside the forwarding totals it reports the fault
+// engine's failover counters and the fabric's live trunk state — the
+// blocked_trunks gauge tracks runtime block/unblock, not the build-time
+// layout, so spanning-tree failover is observable.
 func (tb *Testbed) fabricSnapshot() MetricsSnapshot {
 	var sn MetricsSnapshot
-	var fwd, flood, blockedFr uint64
+	var ingress, fwd, flood, blockedFr, dropped uint64
+	downSwitches := 0
 	var drops float64
 	for _, sw := range tb.fabric {
+		ingress += sw.IngressFrames
 		fwd += sw.ForwardedFrames
 		flood += sw.FloodedFrames
 		blockedFr += sw.BlockedFrames
+		dropped += sw.DroppedFrames
+		if sw.Down() {
+			downSwitches++
+		}
 		if v, ok := sw.Snapshot().Get("port_queue_drops"); ok {
 			drops += v
 		}
 	}
+	sn.Counter("ingress_frames", ingress)
 	sn.Counter("forwarded_frames", fwd)
 	sn.Counter("flooded_frames", flood)
 	sn.Counter("blocked_frames", blockedFr)
+	sn.Counter("dropped_frames", dropped)
 	sn.Counter("port_queue_drops", uint64(drops))
+	sn.Counter("failovers", tb.topo.failovers)
+	sn.Counter("reconverge_ns_total", uint64(tb.topo.reconvergeTotal))
+	sn.Gauge("reconverge_last_ns", float64(tb.topo.reconvergeLast))
 	sn.Gauge("switches", float64(len(tb.fabric)))
-	sn.Gauge("trunks", float64(tb.fabricTrunks))
-	sn.Gauge("blocked_trunks", float64(tb.fabricBlocked))
+	sn.Gauge("down_switches", float64(downSwitches))
+	sn.Gauge("trunks", float64(len(tb.trunks)))
+	sn.Gauge("blocked_trunks", float64(tb.blockedTrunks()))
+	failedTrunks := 0
+	for i := range tb.trunks {
+		if tb.trunks[i].failed {
+			failedTrunks++
+		}
+	}
+	sn.Gauge("failed_trunks", float64(failedTrunks))
+	for i, name := range tb.trunkStateNames {
+		state := trunkStateForwarding
+		switch {
+		case tb.trunks[i].failed:
+			state = trunkStateFailed
+		case tb.trunkBlocked(i):
+			state = trunkStateBlocked
+		}
+		sn.Gauge(name, float64(state))
+	}
 	return sn
+}
+
+// TrunkCount reports the number of trunks in the built fabric.
+func (tb *Testbed) TrunkCount() int { return len(tb.trunks) }
+
+// TrunkStatus is one trunk's live state (see Testbed.TrunkStatus).
+type TrunkStatus struct {
+	// A and B are the end switch indices.
+	A, B int
+	// InTree marks membership in the build-time spanning tree.
+	InTree bool
+	// Blocked and Failed are the live spanning-tree and fault states.
+	Blocked, Failed bool
+	// Propagation and BitErrorRate are the live profile (degrade faults
+	// override the built values until Reset).
+	Propagation  time.Duration
+	BitErrorRate float64
+}
+
+// TrunkStatus reports a trunk's live state by wiring index.
+func (tb *Testbed) TrunkStatus(i int) (TrunkStatus, error) {
+	if i < 0 || i >= len(tb.trunks) {
+		return TrunkStatus{}, fmt.Errorf("virtualwire: no trunk %d (fabric has %d)", i, len(tb.trunks))
+	}
+	tr := &tb.trunks[i]
+	st := TrunkStatus{
+		A: tr.wire.a, B: tr.wire.b,
+		InTree:  tr.inTree,
+		Blocked: tb.trunkBlocked(i),
+		Failed:  tr.failed,
+	}
+	if tr.ch != nil {
+		st.Propagation, st.BitErrorRate = tr.ch.Profile()
+	} else if tr.link != nil {
+		st.Propagation, st.BitErrorRate = tr.link.Profile()
+	}
+	return st, nil
 }
 
 // FabricSwitches reports the number of switches in the built fabric (0

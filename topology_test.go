@@ -110,8 +110,8 @@ func TestTopologyRingBlockedTrunk(t *testing.T) {
 		t.Fatal("no fabric metrics in the report")
 	}
 	_ = blocked // blocked frames may be zero once learning converges fast
-	if tb.fabricTrunks != 4 || tb.fabricBlocked != 1 {
-		t.Fatalf("ring trunks=%d blocked=%d, want 4/1", tb.fabricTrunks, tb.fabricBlocked)
+	if len(tb.trunks) != 4 || tb.blockedTrunks() != 1 {
+		t.Fatalf("ring trunks=%d blocked=%d, want 4/1", len(tb.trunks), tb.blockedTrunks())
 	}
 }
 

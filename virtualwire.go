@@ -146,6 +146,14 @@ type Config struct {
 	// ring, fat-tree, random) joined by trunk links — the 1000-node
 	// scale substrate. Requires a switch Medium. See docs/TOPOLOGIES.md.
 	Topology *TopologySpec
+	// TopologyFaults schedules deterministic virtual-time fabric faults
+	// — trunk failure/restore/flap, per-trunk latency/BER degradation,
+	// switch crash/restart — against the generated Topology. A tree
+	// trunk's death triggers STP-style reconvergence after the spec's
+	// ReconvergeDelay: the best redundant trunk unblocks (deterministic
+	// tie-break by wiring order) and stale MAC entries flush. Requires a
+	// multi-switch Topology. See docs/TOPOLOGIES.md, "Fault axes".
+	TopologyFaults []TopologyFaultSpec
 	// Shards selects the conservative-windowed parallel engine: the
 	// fabric is partitioned into this many shards, each running its own
 	// event queue on its own goroutine, synchronized at trunk-lookahead
@@ -268,6 +276,10 @@ type InjectedFault struct {
 // Report.Faults; this accessor remains as a thin delegate.
 func (tb *Testbed) InjectedFaults() []InjectedFault {
 	var out []InjectedFault
+	// Fabric-level injections (trunk failures, flaps, switch crashes,
+	// reconvergence events) ride the same journal as engine faults: the
+	// fault surface composes instead of bypassing the FSL reporting.
+	out = append(out, tb.topo.log...)
 	for _, n := range tb.nodes {
 		for _, f := range n.engine.FaultLog() {
 			pkt := ""
@@ -304,10 +316,21 @@ type Testbed struct {
 
 	// fabric is the generated multi-switch topology (empty for the
 	// classic single switch / bus); wired once by build, kept by Reset.
-	fabric        []*ether.Switch
-	fabricTrunks  int
-	fabricBlocked int
-	hostSeq       int // AddHostGroup identity sequence
+	fabric    []*ether.Switch
+	trunks    []fabricTrunk // built trunks in wiring order
+	fabricAdj [][]int       // switch index -> trunk indices, wiring order
+	hostSeq   int           // AddHostGroup identity sequence
+
+	// Spanning-forest scratch buffers (build + reconvergence) and the
+	// interned per-trunk gauge names for small fabrics.
+	forestTree      []bool
+	forestVisited   []bool
+	forestQueue     []int
+	trunkStateNames []string
+
+	// topo is the topology fault engine's runtime state (trunk
+	// failure/flap schedules, pending reconvergence, failover metrics).
+	topo topoFaultState
 
 	prog     *core.Program
 	compiled *CompiledScript // non-nil when prog came from LoadCompiled
@@ -544,6 +567,9 @@ func (tb *Testbed) build() error {
 		if err := tb.buildFabric(); err != nil {
 			return err
 		}
+	}
+	if err := tb.stageTopoFaults(); err != nil {
+		return err
 	}
 	inRing := make(map[string]bool, len(tb.retherRing))
 	var ringMACs []packet.MAC
