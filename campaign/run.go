@@ -96,6 +96,23 @@ type Options struct {
 	// O(runs), even when one slow run holds up the ordered flush.
 	Window int
 
+	// FirstIndex resumes an interrupted campaign: runs with index below
+	// it are taken as already recorded by a previous invocation — they
+	// are neither executed nor written, and the sink continues at
+	// FirstIndex. Per-run seeds derive from the run index, so the
+	// resumed records are byte-identical to an uninterrupted run's.
+	FirstIndex int
+	// Prior seeds the Summary with the records a previous invocation
+	// already flushed (unmarshalled back from its sink). They are
+	// tallied in order before any new run, never re-written, so the
+	// final Summary equals the uninterrupted campaign's.
+	Prior []RunRecord
+	// StrictOrder suppresses the post-cancellation courtesy flush of
+	// completed records beyond a gap: the sink then only ever holds the
+	// contiguous run-index prefix, the invariant a resume scan depends
+	// on. Interactive use leaves it off to keep every finished record.
+	StrictOrder bool
+
 	// run substitutes the per-attempt executor in tests. When set, the
 	// reusable-testbed pipeline is bypassed entirely.
 	run runFunc
@@ -178,16 +195,33 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts.normalize(len(points), maxShards(points))
+	first := opts.FirstIndex
+	if first < 0 {
+		first = 0
+	}
+	if first > len(points) {
+		return nil, fmt.Errorf("campaign: FirstIndex %d beyond the %d-run matrix", opts.FirstIndex, len(points))
+	}
+	todo := points[first:]
+	opts.normalize(len(todo), maxShards(points))
 	workers := opts.Workers
 	agg := newAggregator(&spec, len(points))
-	if len(points) == 0 {
+	// Fold the previous invocation's records into the tallies, in their
+	// original order, without re-writing them: the resumed Summary must
+	// equal the uninterrupted campaign's.
+	var noSink Options
+	for _, r := range opts.Prior {
+		if err := agg.collect(r, &noSink); err != nil {
+			return agg.finish(), err
+		}
+	}
+	if len(todo) == 0 {
 		return agg.finish(), nil
 	}
 
 	if workers <= 1 {
 		run := opts.newRunner(&spec)
-		for _, p := range points {
+		for _, p := range todo {
 			if ctx.Err() != nil {
 				break
 			}
@@ -221,11 +255,11 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 					return
 				}
 				i := int(next.Add(1)) - 1
-				if i >= len(points) {
+				if i >= len(todo) {
 					<-sem
 					return
 				}
-				results <- runPoint(ctx, &spec, points[i], run)
+				results <- runPoint(ctx, &spec, todo[i], run)
 			}
 		}()
 	}
@@ -237,7 +271,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 	// Single collector: reorder to run-index order, flush the
 	// contiguous prefix, release window slots as records retire.
 	pending := make(map[int]RunRecord, window)
-	base := 0
+	base := first
 	var sinkErr error
 	for rec := range results {
 		pending[rec.Index] = rec
@@ -259,15 +293,26 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Summary, error) {
 			} else {
 				_ = agg.collect(r, &opts)
 			}
+			if opts.StrictOrder && r.Outcome == OutcomeCanceled {
+				// A canceled run leaves a hole in the sink (canceled
+				// records are never written); later completions must
+				// not be written past it, or the contiguous-prefix
+				// invariant breaks for the resume scan.
+				opts.Sink, opts.OnRecord = nil, nil
+			}
 		}
 	}
 	// Cancellation can leave gaps (indices never taken); flush whatever
-	// completed above the gap, still in index order.
-	for i := base; i < len(points) && len(pending) > 0; i++ {
-		if r, ok := pending[i]; ok {
-			delete(pending, i)
-			if e := agg.collect(r, &opts); sinkErr == nil && e != nil {
-				sinkErr = e
+	// completed above the gap, still in index order. StrictOrder skips
+	// this courtesy flush so the sink keeps its contiguous-prefix
+	// invariant for resume scans.
+	if !opts.StrictOrder {
+		for i := base; i < len(points) && len(pending) > 0; i++ {
+			if r, ok := pending[i]; ok {
+				delete(pending, i)
+				if e := agg.collect(r, &opts); sinkErr == nil && e != nil {
+					sinkErr = e
+				}
 			}
 		}
 	}

@@ -1,0 +1,246 @@
+package service
+
+// On-disk journal layout, one directory per job under <Dir>/jobs/<id>/:
+//
+//	job.json     submit-time header: tenant, worker grant, normalized
+//	             spec and its canonical hash. Written once, atomically.
+//	runs.jsonl   the record stream, appended one line per finished run
+//	             in run-index order — always a contiguous prefix of the
+//	             matrix (campaign.Options.StrictOrder). This is the
+//	             same bytes a client streams and an in-process run
+//	             would have written.
+//	status.json  terminal state (done/failed/canceled), written once on
+//	             retirement. Its absence marks a job as interrupted: a
+//	             daemon that died mid-campaign never wrote it.
+//	summary.json the campaign Summary (done and canceled jobs).
+//
+// Resume: for a job with no terminal status, scanRecords replays
+// runs.jsonl, keeps the longest prefix of well-formed records whose
+// indexes count 0,1,2,…, truncates the file after it (a SIGKILL can
+// land mid-write), and hands campaign.Run FirstIndex = len(prefix) and
+// the prefix as Prior. Byte-identity across the kill is then exactly
+// the campaign executor's resume invariant.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"virtualwire/campaign"
+)
+
+const (
+	jobFile     = "job.json"
+	recordsFile = "runs.jsonl"
+	statusFile  = "status.json"
+	summaryFile = "summary.json"
+)
+
+// jobHeader is the durable submit record.
+type jobHeader struct {
+	ID       string        `json:"id"`
+	Seq      int           `json:"seq"`
+	Tenant   string        `json:"tenant"`
+	Workers  int           `json:"workers"`
+	SpecHash string        `json:"spec_hash"`
+	Spec     campaign.Spec `json:"spec"`
+}
+
+// statusRecord is the durable terminal state.
+type statusRecord struct {
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// writeJSONFile writes v as JSON atomically (temp file + rename), so a
+// kill mid-write never leaves a torn header or status.
+func writeJSONFile(dir, name string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("service: marshal %s: %w", name, err)
+	}
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	_, werr := tmp.Write(append(b, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: write %s: %w", name, firstErr(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func readJSONFile(dir, name string, v any) error {
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, v)
+}
+
+// writeJobHeader creates the job directory and its header.
+func writeJobHeader(j *Job) error {
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return writeJSONFile(j.dir, jobFile, jobHeader{
+		ID:       j.id,
+		Seq:      j.seq,
+		Tenant:   j.tenant,
+		Workers:  j.workers,
+		SpecHash: j.specHash,
+		Spec:     j.spec,
+	})
+}
+
+// scanRecords replays a journal's record stream and returns the longest
+// contiguous well-formed prefix plus its byte length. Anything after it
+// — a torn last line from a kill mid-write, or records past a
+// cancellation hole — is not part of the resumable prefix.
+func scanRecords(path string) (prior []campaign.RunRecord, goodLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn final write. Drop it.
+			return prior, goodLen, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		var rec campaign.RunRecord
+		if json.Unmarshal(line[:len(line)-1], &rec) != nil || rec.Index != len(prior) {
+			return prior, goodLen, nil
+		}
+		prior = append(prior, rec)
+		goodLen += int64(len(line))
+	}
+}
+
+// loadJournal restores every journaled job: terminal jobs become
+// readable history, interrupted ones re-queue at their resume point in
+// original submit order.
+func (m *Manager) loadJournal() error {
+	jobsDir := filepath.Join(m.cfg.Dir, "jobs")
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	var loaded []*Job
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(jobsDir, e.Name())
+		var hdr jobHeader
+		if err := readJSONFile(dir, jobFile, &hdr); err != nil {
+			m.cfg.Logf("service: skipping %s: unreadable header: %v", e.Name(), err)
+			continue
+		}
+		j := &Job{
+			id:       hdr.ID,
+			seq:      hdr.Seq,
+			tenant:   hdr.Tenant,
+			dir:      dir,
+			spec:     hdr.Spec,
+			specHash: hdr.SpecHash,
+			workers:  hdr.Workers,
+			runs:     hdr.Spec.Runs(),
+			done:     make(chan struct{}),
+			change:   make(chan struct{}),
+		}
+		j.cost = m.slotCost(&j.spec, j.workers)
+		if err := m.restoreJob(j); err != nil {
+			j.state = StateFailed
+			j.errText = err.Error()
+			close(j.done)
+		}
+		loaded = append(loaded, j)
+	}
+	sort.Slice(loaded, func(a, b int) bool { return loaded[a].seq < loaded[b].seq })
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range loaded {
+		if j.seq > m.nextSeq {
+			m.nextSeq = j.seq
+		}
+		m.addJobLocked(j)
+		if j.state == StateQueued {
+			m.enqueueLocked(j)
+			m.cfg.Logf("service: job %s (tenant %s): resuming from run %d/%d", j.id, j.tenant, j.firstIndex, j.runs)
+		}
+	}
+	return nil
+}
+
+// restoreJob classifies one journaled job and prepares it for serving
+// or resumption. The spec hash is re-derived and checked so a spec
+// edited (or corrupted) between daemon runs fails loudly instead of
+// resuming against a different matrix.
+func (m *Manager) restoreJob(j *Job) error {
+	if got := j.spec.Hash(); got != j.specHash {
+		return fmt.Errorf("service: journal spec hash mismatch for %s: header says %s, spec hashes to %s", j.id, j.specHash, got)
+	}
+	prior, goodLen, err := scanRecords(filepath.Join(j.dir, recordsFile))
+	if err != nil {
+		return fmt.Errorf("service: scan journal for %s: %w", j.id, err)
+	}
+	j.completed = len(prior)
+	for i := range prior {
+		if prior[i].Outcome == campaign.OutcomePass {
+			j.passed++
+		} else {
+			j.failed++
+		}
+	}
+	j.safeLen.Store(goodLen)
+
+	var st statusRecord
+	switch err := readJSONFile(j.dir, statusFile, &st); {
+	case err == nil:
+		j.state = st.State
+		j.errText = st.Error
+		close(j.done)
+		return nil
+	case os.IsNotExist(err):
+		// Interrupted (or never started): resume. Truncate anything
+		// after the contiguous prefix so the append continues it.
+		if err := os.Truncate(filepath.Join(j.dir, recordsFile), goodLen); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("service: truncate journal for %s: %w", j.id, err)
+		}
+		j.state = StateQueued
+		j.firstIndex = len(prior)
+		j.prior = prior
+		j.resumed = j.firstIndex > 0
+		return nil
+	default:
+		return fmt.Errorf("service: read status for %s: %w", j.id, err)
+	}
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock falls back to holding the file
+// open without mutual exclusion; concurrent daemons over one journal
+// root are then the operator's responsibility.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/LOCK. The lock is
+// held for the returned file's lifetime and vanishes with the process,
+// so a SIGKILL never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("service: journal root %s is in use by another daemon: %w", dir, err)
+	}
+	return f, nil
+}

@@ -65,6 +65,9 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 // with the seed axis) when the runs don't form a clean product — the
 // Figure 7 sweep's baseline/vw/vw+rll triples, for example.
 type Spec struct {
+	// Version is the wire-schema version of the spec (see SpecVersion
+	// and docs/SERVICE.md). Zero means "current"; Normalize stamps it.
+	Version int `json:"version,omitempty"`
 	// Name labels the campaign in records and the summary.
 	Name string `json:"name,omitempty"`
 	// Seed is the campaign master seed: per-run seeds derive from it
@@ -196,7 +199,17 @@ type TrunkFault struct {
 	BitErrorRate *float64 `json:"bit_error_rate,omitempty"`
 }
 
+// validate checks the override's enumerated fields without touching a
+// real config; errors name the offending sub-field.
+func (o *ConfigOverride) validate() error {
+	var dummy virtualwire.Config
+	return o.apply(&dummy)
+}
+
 // apply folds the override into cfg, validating enumerated fields.
+// Validation errors are FieldErrors whose paths are relative to the
+// override ("medium", "trunk_faults[1].kind"); Spec.Validate prefixes
+// them with the override's own position.
 func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	switch o.Medium {
 	case "":
@@ -207,7 +220,7 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	case "fdswitch":
 		cfg.Medium = virtualwire.MediumSwitchFullDuplex
 	default:
-		return fmt.Errorf("campaign: unknown medium %q (want switch, bus or fdswitch)", o.Medium)
+		return fieldErrf("medium", "unknown medium %q (want switch, bus or fdswitch)", o.Medium)
 	}
 	if o.RLL != nil {
 		cfg.RLL = *o.RLL
@@ -230,7 +243,7 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	if o.Classifier != "" {
 		strat, err := virtualwire.ParseClassifierStrategy(o.Classifier)
 		if err != nil {
-			return err
+			return prefixField("classifier", err)
 		}
 		cfg.Classifier = strat
 	}
@@ -240,7 +253,7 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	if o.Topology != nil {
 		kind, err := virtualwire.ParseTopologyKind(o.Topology.Kind)
 		if err != nil {
-			return err
+			return prefixField("topology.kind", err)
 		}
 		cfg.Topology = &virtualwire.TopologySpec{
 			Kind:               kind,
@@ -254,14 +267,14 @@ func (o *ConfigOverride) apply(cfg *virtualwire.Config) error {
 	}
 	if len(o.TrunkFaults) > 0 {
 		if cfg.Topology == nil {
-			return fmt.Errorf("campaign: trunk_faults require a topology override")
+			return fieldErrf("trunk_faults", "require a topology override")
 		}
 		cfg.TopologyFaults = make([]virtualwire.TopologyFaultSpec, 0, len(o.TrunkFaults))
 		for i := range o.TrunkFaults {
 			f := &o.TrunkFaults[i]
 			kind, err := virtualwire.ParseTopologyFaultKind(f.Kind)
 			if err != nil {
-				return err
+				return prefixField(fmt.Sprintf("trunk_faults[%d].kind", i), err)
 			}
 			cfg.TopologyFaults = append(cfg.TopologyFaults, virtualwire.TopologyFaultSpec{
 				Kind:         kind,
@@ -374,7 +387,7 @@ func (w *WorkloadSpec) validate() error {
 	case "", "none", "tcpbulk", "udpecho", "udpstream", "incast", "manyflow":
 		return nil
 	}
-	return fmt.Errorf("campaign: unknown workload kind %q (want tcpbulk, udpecho, udpstream, incast, manyflow or none)", w.Kind)
+	return fieldErrf("kind", "unknown workload kind %q (want tcpbulk, udpecho, udpstream, incast, manyflow or none)", w.Kind)
 }
 
 // install stages the workload on tb and returns its measurer (nil for
@@ -530,14 +543,8 @@ func (s *Spec) Runs() int {
 // order — and therefore every derived seed — is independent of the
 // worker count.
 func (s *Spec) expand() ([]point, error) {
-	if s.Horizon <= 0 {
-		return nil, fmt.Errorf("campaign: spec needs a positive Horizon")
-	}
-	if s.Retries < 0 {
-		return nil, fmt.Errorf("campaign: negative Retries")
-	}
-	if len(s.Variants) > 0 && (len(s.Configs) > 0 || len(s.Workloads) > 0) {
-		return nil, fmt.Errorf("campaign: Variants is exclusive with Configs/Workloads")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
 	seedN := s.seedAxisLen()
 
@@ -611,25 +618,14 @@ func (s *Spec) expand() ([]point, error) {
 		}
 	}
 
-	// Validate every shape once (not per seed) and compile each unique
-	// (script, scenario) pair exactly once. The resulting CompiledScript —
-	// immutable tables plus the pre-encoded INIT blob — is shared by every
-	// run of the matrix, so no worker ever re-parses or re-encodes FSL.
+	// Validate covered every shape's structure; here each unique
+	// (script, scenario) pair is compiled exactly once. The resulting
+	// CompiledScript — immutable tables plus the pre-encoded INIT blob —
+	// is shared by every run of the matrix, so no worker ever re-parses
+	// or re-encodes FSL.
 	compiledBy := make(map[string]*virtualwire.CompiledScript)
 	for i := range shapes {
 		sh := &shapes[i]
-		var dummy virtualwire.Config
-		if err := sh.cfg.apply(&dummy); err != nil {
-			return nil, err
-		}
-		if sh.wl != nil {
-			if err := sh.wl.validate(); err != nil {
-				return nil, err
-			}
-		}
-		if sh.script == "" && s.Nodes == "" && s.Hosts <= 0 {
-			return nil, fmt.Errorf("campaign: shape %q has no hosts (no script, no Spec.Nodes, no Spec.Hosts)", sh.label)
-		}
 		if sh.script == "" {
 			continue
 		}

@@ -16,6 +16,17 @@
 //	# Same matrix from a spec file, JSON summary:
 //	vwcampaign -spec campaign.json -out runs.jsonl -summary json
 //
+// With -addr the same campaign is submitted to a vwcampaignd daemon
+// instead of running in-process; records stream back over HTTP into
+// -out with the same bytes an in-process run would write (see
+// docs/SERVICE.md):
+//
+//	vwcampaign -addr 127.0.0.1:8047 -spec campaign.json -out runs.jsonl
+//	vwcampaign -addr 127.0.0.1:8047 -spec campaign.json -detach   # prints the job id
+//	vwcampaign -addr 127.0.0.1:8047 -status j000001
+//	vwcampaign -addr 127.0.0.1:8047 -attach j000001 -out runs.jsonl
+//	vwcampaign -addr 127.0.0.1:8047 -cancel j000001
+//
 // The exit status is 0 when every run completed and passed, 1 on a
 // campaign-level failure, and 2 when runs failed or were cut short.
 package main
@@ -25,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +46,7 @@ import (
 
 	"virtualwire"
 	"virtualwire/campaign"
+	"virtualwire/campaign/service"
 	"virtualwire/internal/profiling"
 )
 
@@ -76,6 +89,12 @@ func run() (code int, retErr error) {
 	shardsFlag := flag.String("shards", "", "sharded engine for quick-flag campaigns: a shard count or auto (empty = legacy)")
 	trunkFail := flag.String("trunk-fail", "", "comma-separated trunk failures idx@at (e.g. 0@500ms; requires -topology)")
 	trunkFlap := flag.String("trunk-flap", "", "comma-separated trunk flaps idx@at:period:count (e.g. 0@500ms:200ms:3; requires -topology)")
+	addr := flag.String("addr", "", "vwcampaignd address (host:port or URL): submit to the daemon instead of running in-process")
+	tenant := flag.String("tenant", "", "tenant name for daemon submissions (requires -addr)")
+	detach := flag.Bool("detach", false, "submit to the daemon and print the job id without waiting (requires -addr)")
+	attachID := flag.String("attach", "", "attach to an existing daemon job: stream its records and summary (requires -addr)")
+	statusID := flag.String("status", "", "print a daemon job's status as JSON and exit (requires -addr)")
+	cancelID := flag.String("cancel", "", "cancel a daemon job and exit (requires -addr)")
 	var prof profiling.Flags
 	prof.Register()
 	flag.Parse()
@@ -90,6 +109,35 @@ func run() (code int, retErr error) {
 		}
 	}()
 
+	// SIGINT/SIGTERM cancel the campaign (or the remote stream);
+	// finished records stay flushed.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	if *addr == "" && (*tenant != "" || *detach || *attachID != "" || *statusID != "" || *cancelID != "") {
+		return 1, fmt.Errorf("-tenant, -detach, -attach, -status and -cancel require -addr")
+	}
+	if *addr != "" {
+		// Job-management modes need no spec at all.
+		c := service.NewClient(*addr)
+		switch {
+		case *cancelID != "":
+			st, err := c.Cancel(ctx, *cancelID)
+			if err != nil {
+				return 1, err
+			}
+			return 0, printJobStatus(st)
+		case *statusID != "":
+			st, err := c.Status(ctx, *statusID)
+			if err != nil {
+				return 1, err
+			}
+			return 0, printJobStatus(st)
+		case *attachID != "":
+			return attachJob(ctx, c, *attachID, *outPath, *progress, *summaryMode, *summaryOut)
+		}
+	}
+
 	var spec campaign.Spec
 	switch {
 	case *specPath != "":
@@ -100,11 +148,11 @@ func run() (code int, retErr error) {
 		if err != nil {
 			return 1, err
 		}
-		dec := json.NewDecoder(strings.NewReader(string(raw)))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&spec); err != nil {
+		parsed, err := campaign.ParseSpec(raw)
+		if err != nil {
 			return 1, fmt.Errorf("%s: %w", *specPath, err)
 		}
+		spec = *parsed
 	case *scriptPath != "" || *hosts > 0:
 		spec = campaign.Spec{
 			Name:      strings.TrimSuffix(*scriptPath, ".fsl"),
@@ -228,6 +276,32 @@ func run() (code int, retErr error) {
 		return 1, fmt.Errorf("one of -spec, -script or -hosts is required")
 	}
 
+	// One normalization path for every consumer: quick flags, -spec and
+	// the daemon all run the same canonical spec (campaign.Normalize),
+	// so the journal's spec hash is stable however the spec arrived.
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return 1, err
+	}
+
+	if *addr != "" {
+		raw, err := json.Marshal(&spec)
+		if err != nil {
+			return 1, err
+		}
+		c := service.NewClient(*addr)
+		st, err := c.Submit(ctx, *tenant, raw, *workers)
+		if err != nil {
+			return 1, err
+		}
+		if *detach {
+			fmt.Println(st.ID)
+			return 0, nil
+		}
+		fmt.Fprintf(os.Stderr, "vwcampaign: submitted %s (%d runs) to %s\n", st.ID, st.Runs, *addr)
+		return attachJob(ctx, c, st.ID, *outPath, *progress, *summaryMode, *summaryOut)
+	}
+
 	opts := campaign.Options{Workers: *workers}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -244,10 +318,6 @@ func run() (code int, retErr error) {
 				r.Index+1, total, r.Label, r.Outcome, r.Seed, r.Attempts)
 		}
 	}
-
-	// SIGINT/SIGTERM cancel the campaign; finished records stay flushed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	sum, runErr := campaign.Run(ctx, spec, opts)
 	if sum == nil {
@@ -282,6 +352,88 @@ func run() (code int, retErr error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// printJobStatus writes one job status as indented JSON to stdout.
+func printJobStatus(st service.JobStatus) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// attachJob follows a daemon job to completion: records stream into
+// -out (byte-identical to an in-process run), progress goes to stderr,
+// and the final summary prints per -summary. Exit codes mirror the
+// in-process path.
+func attachJob(ctx context.Context, c *service.Client, id, outPath string, progress bool, summaryMode, summaryOut string) (int, error) {
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return 1, err
+	}
+	var sink *os.File
+	if outPath != "" {
+		if sink, err = os.Create(outPath); err != nil {
+			return 1, err
+		}
+		defer sink.Close()
+	}
+	var onRecord func(campaign.RunRecord)
+	if progress {
+		onRecord = func(r campaign.RunRecord) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-30s %s (seed %d, %d attempt(s))\n",
+				r.Index+1, st.Runs, r.Label, r.Outcome, r.Seed, r.Attempts)
+		}
+	}
+	var sinkW io.Writer
+	if sink != nil {
+		sinkW = sink
+	}
+	if err := c.StreamRecords(ctx, id, sinkW, onRecord); err != nil {
+		return 1, err
+	}
+	sum, err := c.Summary(ctx, id, true)
+	if err != nil {
+		return 1, err
+	}
+	final, err := c.Status(ctx, id)
+	if err != nil {
+		return 1, err
+	}
+
+	out := os.Stdout
+	if summaryOut != "" {
+		f, err := os.Create(summaryOut)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		out = f
+	}
+	if sum != nil {
+		switch summaryMode {
+		case "text":
+			fmt.Fprint(out, sum.Text())
+		case "json":
+			if err := sum.WriteJSON(out); err != nil {
+				return 1, err
+			}
+		case "none":
+		default:
+			return 1, fmt.Errorf("unknown -summary %q (want text, json or none)", summaryMode)
+		}
+	}
+
+	switch final.State {
+	case service.StateDone:
+		if final.Failed > 0 {
+			return 2, nil
+		}
+		return 0, nil
+	case service.StateFailed:
+		return 1, fmt.Errorf("job %s failed: %s", id, final.Error)
+	default:
+		return 2, fmt.Errorf("campaign interrupted: job %s ended %s after %d/%d runs", id, final.State, final.Completed, final.Runs)
+	}
 }
 
 // parseTCPSpec parses from:port-to:port:bytes (ports accept 0x...).

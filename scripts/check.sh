@@ -106,6 +106,108 @@ if ! awk -v ns="$RECONV_NS" -v f="$FAILOVERS" 'BEGIN { exit !(ns <= f * 2000000)
 fi
 echo "reconvergence time: $RECONV_NS ns across $FAILOVERS failovers (limit 2ms each)"
 
+echo "== campaign service smoke =="
+# The daemon end to end, against real binaries (a SIGKILL must hit the
+# daemon process itself, which `go run` would shield behind a parent):
+# submit a ring:4 trunk-fault campaign over HTTP and byte-compare the
+# streamed records and summary with an in-process run; then kill the
+# daemon mid-campaign, restart it over the same journal, and check the
+# resumed job still produces identical bytes; finally shut down cleanly
+# on SIGTERM. See docs/SERVICE.md.
+SVC_TMP="$(mktemp -d)"
+trap 'rm -f "$SHARD_A" "$SHARD_B" "$FAIL_A" "$FAIL_B" "$FAIL_SUM"; rm -rf "$SVC_TMP"; [ -n "${SVC_PID:-}" ] && kill -9 "$SVC_PID" 2>/dev/null || true' EXIT
+go build -o "$SVC_TMP/" ./cmd/vwcampaign ./cmd/vwcampaignd
+cat > "$SVC_TMP/spec.json" <<'EOF'
+{
+  "name": "svc-smoke",
+  "seed": 11,
+  "seed_count": 24,
+  "hosts": 24,
+  "horizon": "10s",
+  "configs": [
+    {"label": "ring-fault",
+     "topology": {"kind": "ring", "switches": 4},
+     "trunk_faults": [{"kind": "trunk_down", "trunk": 0, "at": "5ms"}]}
+  ],
+  "workloads": [{"kind": "manyflow", "flows": 12, "bytes": 65536}]
+}
+EOF
+"$SVC_TMP/vwcampaign" -spec "$SVC_TMP/spec.json" -out "$SVC_TMP/ref.jsonl" \
+    -summary json -summary-out "$SVC_TMP/ref-summary.json"
+
+svc_start() { # svc_start <logfile>; sets SVC_PID and SVC_ADDR
+    "$SVC_TMP/vwcampaignd" -dir "$SVC_TMP/state" -listen 127.0.0.1:0 > "$1" 2>&1 &
+    SVC_PID=$!
+    SVC_ADDR=""
+    for _ in $(seq 1 100); do
+        SVC_ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$1" | head -n 1)"
+        [ -n "$SVC_ADDR" ] && break
+        sleep 0.1
+    done
+    if [ -z "$SVC_ADDR" ]; then
+        echo "service smoke: daemon did not come up" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+svc_start "$SVC_TMP/daemon1.log"
+
+# Live-streamed records must be byte-identical to the in-process run.
+"$SVC_TMP/vwcampaign" -addr "$SVC_ADDR" -spec "$SVC_TMP/spec.json" \
+    -out "$SVC_TMP/streamed.jsonl" \
+    -summary json -summary-out "$SVC_TMP/streamed-summary.json" 2> /dev/null
+if ! cmp -s "$SVC_TMP/ref.jsonl" "$SVC_TMP/streamed.jsonl"; then
+    echo "service smoke: streamed JSONL differs from in-process run" >&2
+    exit 1
+fi
+if ! cmp -s "$SVC_TMP/ref-summary.json" "$SVC_TMP/streamed-summary.json"; then
+    echo "service smoke: remote summary differs from in-process run" >&2
+    exit 1
+fi
+
+# SIGKILL mid-campaign, restart over the same journal, resume.
+SVC_JOB="$("$SVC_TMP/vwcampaign" -addr "$SVC_ADDR" -spec "$SVC_TMP/spec.json" -workers 1 -detach)"
+SVC_DONE=0
+for _ in $(seq 1 600); do
+    SVC_DONE="$("$SVC_TMP/vwcampaign" -addr "$SVC_ADDR" -status "$SVC_JOB" \
+        | sed -n 's/.*"completed": \([0-9]*\).*/\1/p')"
+    [ "${SVC_DONE:-0}" -ge 2 ] && break
+    sleep 0.05
+done
+if [ "${SVC_DONE:-0}" -lt 2 ] || [ "$SVC_DONE" -ge 24 ]; then
+    echo "service smoke: wanted to kill mid-campaign, but completed=$SVC_DONE of 24" >&2
+    exit 1
+fi
+kill -9 "$SVC_PID"
+wait "$SVC_PID" 2> /dev/null || true
+
+svc_start "$SVC_TMP/daemon2.log"
+if ! grep -q 'resuming from run' "$SVC_TMP/daemon2.log"; then
+    echo "service smoke: restarted daemon did not resume the interrupted job" >&2
+    cat "$SVC_TMP/daemon2.log" >&2
+    exit 1
+fi
+"$SVC_TMP/vwcampaign" -addr "$SVC_ADDR" -attach "$SVC_JOB" \
+    -out "$SVC_TMP/resumed.jsonl" -summary none
+if ! cmp -s "$SVC_TMP/ref.jsonl" "$SVC_TMP/resumed.jsonl"; then
+    echo "service smoke: resumed JSONL differs from uninterrupted in-process run" >&2
+    exit 1
+fi
+SVC_STATUS="$("$SVC_TMP/vwcampaign" -addr "$SVC_ADDR" -status "$SVC_JOB")"
+echo "$SVC_STATUS" | grep -q '"state": "done"' || {
+    echo "service smoke: resumed job did not finish: $SVC_STATUS" >&2
+    exit 1
+}
+echo "$SVC_STATUS" | grep -q '"resumed_from": [1-9]' || {
+    echo "service smoke: job does not report a resume point: $SVC_STATUS" >&2
+    exit 1
+}
+
+kill -TERM "$SVC_PID"
+wait "$SVC_PID"
+echo "service smoke: streamed and resumed records byte-identical, clean shutdown"
+
 echo "== sharded speedup gate =="
 # On a multi-core machine, four shards must actually buy wall-clock:
 # the 1000-host fat-tree benchmark at 4 shards is gated at >= 1.8x the
